@@ -1,0 +1,227 @@
+package nose_test
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (§VII). Each benchmark regenerates its figure's data at a
+// CI-friendly scale and reports the headline quantities as custom
+// metrics; cmd/nosebench runs the same experiments at full scale and
+// prints the complete data tables. See EXPERIMENTS.md for the
+// paper-vs-measured record.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=Fig11 -users-scale 20000   (via cmd/nosebench instead)
+
+import (
+	"testing"
+
+	"nose/internal/bip"
+	"nose/internal/enumerator"
+	"nose/internal/experiments"
+	"nose/internal/hotel"
+	"nose/internal/planner"
+	"nose/internal/randwork"
+	"nose/internal/rubis"
+	"nose/internal/search"
+	"nose/internal/workload"
+)
+
+// benchAdvisorOptions keeps benchmark advisor runs snappy while
+// exercising the full pipeline.
+func benchAdvisorOptions() search.Options {
+	return search.Options{
+		Planner:         planner.Config{MaxPlansPerQuery: 16},
+		MaxSupportPlans: 4,
+		BIP:             bip.Options{MaxNodes: 60, Gap: 0.01},
+	}
+}
+
+// BenchmarkFig11Bidding regenerates paper Fig. 11: per-transaction
+// response times of the RUBiS bidding workload on the NoSE,
+// normalized, and expert schemas. The reported metrics are the
+// mix-weighted average response times; who wins, and by what factor,
+// is the reproduction target.
+func BenchmarkFig11Bidding(b *testing.B) {
+	cfg := experiments.Fig11Config{
+		RUBiS:      rubis.Config{Users: 2_000, Seed: 1},
+		Executions: 10,
+		Advisor:    benchAdvisorOptions(),
+	}
+	var last *experiments.Fig11Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.WeightedAvg["NoSE"], "nose-ms")
+	b.ReportMetric(last.WeightedAvg["Normalized"], "normalized-ms")
+	b.ReportMetric(last.WeightedAvg["Expert"], "expert-ms")
+	b.ReportMetric(last.MaxSpeedupVsExpert, "max-speedup-vs-expert")
+	b.ReportMetric(last.WeightedSpeedupVsExpert, "weighted-speedup-vs-expert")
+	if b.N > 0 {
+		b.Logf("\n%s", last.Format())
+	}
+}
+
+// BenchmarkFig12Mixes regenerates paper Fig. 12: weighted average
+// response time across the browsing, bidding, 10x and 100x write
+// mixes, re-advising NoSE per mix. The expected shape: NoSE wins the
+// read-leaning mixes and loses to the expert schema at 100x writes.
+func BenchmarkFig12Mixes(b *testing.B) {
+	cfg := experiments.Fig11Config{
+		RUBiS:      rubis.Config{Users: 1_000, Seed: 1},
+		Executions: 5,
+		Advisor:    benchAdvisorOptions(),
+	}
+	var last *experiments.Fig12Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig12(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, row := range last.Rows {
+		b.ReportMetric(row.Millis["NoSE"], row.Mix+"-nose-ms")
+		b.ReportMetric(row.Millis["Expert"], row.Mix+"-expert-ms")
+	}
+	b.Logf("\n%s", last.Format())
+}
+
+// BenchmarkFig13AdvisorRuntime regenerates paper Fig. 13: advisor
+// runtime versus workload scale factor, broken down into cost
+// calculation, BIP construction, and BIP solving. The expected shape:
+// super-linear growth dominated by construction and solving.
+func BenchmarkFig13AdvisorRuntime(b *testing.B) {
+	cfg := experiments.Fig13Config{
+		MaxFactor: 2,
+		Seed:      5,
+		Advisor:   benchAdvisorOptions(),
+	}
+	var last *experiments.Fig13Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig13(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, row := range last.Rows {
+		b.ReportMetric(row.Total.Seconds(), "factor"+itoa(row.Factor)+"-s")
+	}
+	b.Logf("\n%s", last.Format())
+}
+
+// BenchmarkAdvisorRUBiS measures one full advisor run on the RUBiS
+// workload — the paper's §VII-B prose reports under ten seconds.
+func BenchmarkAdvisorRUBiS(b *testing.B) {
+	g := rubis.Graph(rubis.DefaultConfig())
+	w, _, err := rubis.Workload(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.Advise(w, benchAdvisorOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdvisorHotel measures the advisor on the small hotel
+// example (paper §II).
+func BenchmarkAdvisorHotel(b *testing.B) {
+	g := hotel.Graph()
+	w := workload.New(g)
+	w.Add(workload.MustParseQuery(g, hotel.ExampleQuery), 0.8)
+	w.Add(workload.MustParse(g, hotel.UpdateStatements[0]), 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.Advise(w, benchAdvisorOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnumerationRUBiS isolates candidate enumeration (paper
+// Algorithm 1) on the RUBiS workload.
+func BenchmarkEnumerationRUBiS(b *testing.B) {
+	g := rubis.Graph(rubis.DefaultConfig())
+	w, _, err := rubis.Workload(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enumerator.EnumerateWorkload(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRandomWorkloadGeneration isolates the Fig. 13 workload
+// generator.
+func BenchmarkRandomWorkloadGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := randwork.Generate(randwork.Config{Factor: 5, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+// BenchmarkBudgetSweep is the storage-budget ablation (paper §III-D,
+// §IX): the space constraint trades schema size against workload cost.
+func BenchmarkBudgetSweep(b *testing.B) {
+	cfg := experiments.Fig11Config{
+		RUBiS:   rubis.Config{Users: 2_000, Seed: 1},
+		Advisor: benchAdvisorOptions(),
+	}
+	var last *experiments.BudgetResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunBudgetSweep(cfg, []float64{1, 0.5, 0.25})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, row := range last.Rows {
+		b.ReportMetric(row.CostRatio, "cost-ratio-at-"+itoa(int(row.Fraction*100)))
+	}
+	b.Logf("\n%s", last.Format())
+}
+
+// BenchmarkAblation quantifies the advisor's design choices (Combine,
+// orientation reversal, predicate relaxation) by disabling each and
+// measuring workload cost degradation on the RUBiS bidding mix.
+func BenchmarkAblation(b *testing.B) {
+	cfg := experiments.Fig11Config{
+		RUBiS:   rubis.Config{Users: 2_000, Seed: 1},
+		Advisor: benchAdvisorOptions(),
+	}
+	var last *experiments.AblationResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, row := range last.Rows {
+		if row.CostRatio > 0 {
+			b.ReportMetric(row.CostRatio, row.Variant+"-cost-ratio")
+		}
+	}
+	b.Logf("\n%s", last.Format())
+}

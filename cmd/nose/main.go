@@ -1,0 +1,88 @@
+// Command nose is the NoSQL Schema Evaluator CLI: it reads a
+// conceptual model and weighted workload from a .nose file and prints
+// the recommended column family schema and one implementation plan per
+// statement (paper Fig. 2's inputs and outputs).
+//
+// Usage:
+//
+//	nose -in workload.nose [-space bytes] [-mix name] [-max-plans n] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nose/internal/nosedsl"
+	"nose/internal/planner"
+	"nose/internal/search"
+	"nose/internal/workload"
+)
+
+func main() {
+	in := flag.String("in", "", "input .nose file (model + workload)")
+	space := flag.Float64("space", 0, "optional storage budget in bytes")
+	mix := flag.String("mix", "", "workload mix to optimize for")
+	maxPlans := flag.Int("max-plans", planner.DefaultMaxPlansPerQuery, "plan space bound per query")
+	verbose := flag.Bool("v", false, "print update maintenance plans and timings")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "usage: nose -in workload.nose [-space bytes] [-mix name]")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	_, w, err := nosedsl.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *mix != "" {
+		w.ActiveMix = *mix
+	}
+
+	rec, err := search.Advise(w, search.Options{
+		SpaceBudgetBytes: *space,
+		Planner:          planner.Config{MaxPlansPerQuery: *maxPlans},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("Recommended schema (%d column families, %.1f MB estimated):\n\n",
+		rec.Schema.Len(), rec.Schema.TotalSizeBytes()/1e6)
+	fmt.Print(rec.Schema)
+	fmt.Printf("\nEstimated weighted workload cost: %.4f\n\n", rec.Cost)
+
+	fmt.Println("Query implementation plans:")
+	for _, qr := range rec.Queries {
+		fmt.Printf("\n%s (weight %.3f)\n", workload.Label(qr.Statement.Statement), w.Weight(qr.Statement))
+		fmt.Print(qr.Plan)
+	}
+
+	if *verbose {
+		fmt.Println("\nUpdate maintenance:")
+		for _, ur := range rec.Updates {
+			fmt.Printf("  %s\n", ur.Plan)
+			for _, sp := range ur.SupportPlans {
+				fmt.Printf("    support %s", sp)
+			}
+		}
+		t := rec.Timings
+		fmt.Printf("\nTimings: enumeration %v, cost calculation %v, BIP construction %v, BIP solving %v, total %v\n",
+			round(t.Enumeration), round(t.CostCalculation), round(t.BIPConstruction),
+			round(t.BIPSolving), round(t.Total))
+		fmt.Printf("Problem: %d candidates, %d plan variables, %d constraints, %d nodes\n",
+			rec.Stats.Candidates, rec.Stats.PlanVariables, rec.Stats.Constraints, rec.Stats.Nodes)
+	}
+}
+
+func round(d time.Duration) time.Duration { return d.Round(time.Millisecond) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nose:", err)
+	os.Exit(1)
+}

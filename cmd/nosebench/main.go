@@ -1,0 +1,94 @@
+// Command nosebench regenerates the paper's evaluation figures against
+// the simulated record store:
+//
+//	nosebench -experiment fig11 [-users 20000] [-executions 50]
+//	nosebench -experiment fig12 [-users 20000] [-executions 50]
+//	nosebench -experiment fig13 [-factors 5]
+//
+// Fig. 11: per-transaction response times for the RUBiS bidding
+// workload on the NoSE, normalized, and expert schemas. Fig. 12:
+// weighted average response times across workload mixes. Fig. 13:
+// advisor runtime versus workload scale factor.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nose/internal/bip"
+	"nose/internal/experiments"
+	"nose/internal/planner"
+	"nose/internal/rubis"
+	"nose/internal/search"
+)
+
+func main() {
+	experiment := flag.String("experiment", "fig11", "fig11, fig12, fig13, budget or ablation")
+	users := flag.Int("users", 20_000, "RUBiS users (the paper used 200000)")
+	executions := flag.Int("executions", 50, "measured executions per transaction type")
+	factors := flag.Int("factors", 4, "max scale factor for fig13 (the paper used 10; factors above 3 can take tens of minutes with the built-in solver)")
+	maxPlans := flag.Int("max-plans", 24, "plan space bound per query for the advisor")
+	maxNodes := flag.Int("max-nodes", 500, "branch and bound node budget per solve")
+	flag.Parse()
+
+	opts := search.Options{
+		Planner:         planner.Config{MaxPlansPerQuery: *maxPlans},
+		MaxSupportPlans: 6,
+		BIP:             bip.Options{MaxNodes: *maxNodes},
+	}
+	cfg := experiments.Fig11Config{
+		RUBiS:      rubis.Config{Users: *users, Seed: 1},
+		Executions: *executions,
+		Advisor:    opts,
+	}
+
+	switch *experiment {
+	case "fig11":
+		res, err := experiments.RunFig11(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Fig. 11 — bidding workload, average response time per transaction (simulated ms)")
+		fmt.Print(res.Format())
+	case "fig12":
+		res, err := experiments.RunFig12(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Fig. 12 — weighted average response time per workload mix (simulated ms)")
+		fmt.Print(res.Format())
+	case "ablation":
+		res, err := experiments.RunAblation(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Ablation — advisor design choices on the bidding workload")
+		fmt.Print(res.Format())
+	case "budget":
+		res, err := experiments.RunBudgetSweep(cfg, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Ablation — workload cost vs storage budget (hotel booking workload)")
+		fmt.Print(res.Format())
+	case "fig13":
+		res, err := experiments.RunFig13(experiments.Fig13Config{
+			MaxFactor: *factors,
+			Seed:      5,
+			Advisor:   opts,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Fig. 13 — advisor runtime vs workload scale factor")
+		fmt.Print(res.Format())
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", *experiment))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nosebench:", err)
+	os.Exit(1)
+}

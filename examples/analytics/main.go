@@ -1,0 +1,92 @@
+// Analytics: an update-heavy telemetry scenario demonstrating the two
+// levers the paper highlights — write pressure constraining
+// denormalization (§VI) and the optional storage budget trading space
+// for query cost (§III-D). The same workload is advised three times:
+// read-mostly, write-heavy, and read-mostly with a tight space budget.
+//
+//	go run ./examples/analytics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nose"
+)
+
+func buildModel() *nose.Graph {
+	g := nose.NewGraph()
+	fleet := g.AddEntity("Fleet", "FleetID", 50)
+	fleet.AddAttributeCard("FleetRegion", nose.StringType, 10)
+	fleet.AddAttribute("FleetName", nose.StringType)
+
+	device := g.AddEntity("Device", "DeviceID", 50_000)
+	device.AddAttributeCard("DeviceModel", nose.StringType, 40)
+	device.AddAttributeCard("DeviceStatus", nose.StringType, 4)
+
+	reading := g.AddEntity("Reading", "ReadingID", 5_000_000)
+	reading.AddAttributeCard("ReadingTime", nose.DateType, 100_000)
+	reading.AddAttribute("ReadingValue", nose.FloatType)
+
+	g.MustAddRelationship("Fleet", "Devices", "Device", "Fleet", nose.OneToMany)
+	g.MustAddRelationship("Device", "Readings", "Reading", "Device", nose.OneToMany)
+	return g
+}
+
+func buildWorkload(g *nose.Graph, writeWeight float64) *nose.Workload {
+	w := nose.NewWorkload(g)
+	// Dashboard: recent readings (with device status) for all devices
+	// of a region.
+	w.Add(nose.MustParse(g, `
+		SELECT Reading.ReadingValue, Reading.ReadingTime, Device.DeviceStatus FROM Reading
+		WHERE Reading.Device.Fleet.FleetRegion = ?region
+		AND Reading.ReadingTime > ?since`), 1.0)
+	// Device drill-down, newest first.
+	w.Add(nose.MustParse(g, `
+		SELECT Readings.ReadingValue, Readings.ReadingTime FROM Device.Readings
+		WHERE Device.DeviceID = ?device ORDER BY Readings.ReadingTime LIMIT 100`), 0.8)
+	// Status flips are frequent in the write-heavy regime.
+	w.Add(nose.MustParse(g, `
+		UPDATE Device SET DeviceStatus = ? WHERE Device.DeviceID = ?`), writeWeight)
+	// Telemetry ingest.
+	w.Add(nose.MustParse(g, `
+		INSERT INTO Reading SET ReadingID = ?, ReadingTime = ?, ReadingValue = ?
+		AND CONNECT TO Device(?device)`), writeWeight*2)
+	return w
+}
+
+func report(tag string, rec *nose.Recommendation) {
+	fmt.Printf("--- %s ---\n", tag)
+	fmt.Printf("cost %.4f, %d column families, ~%.0f MB\n",
+		rec.Cost, rec.Schema.Len(), rec.Schema.TotalSizeBytes()/1e6)
+	fmt.Print(rec.Schema)
+	fmt.Println()
+}
+
+func main() {
+	g := buildModel()
+
+	readMostly, err := nose.Advise(buildWorkload(g, 0.01), nose.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("read-mostly", readMostly)
+
+	writeHeavy, err := nose.Advise(buildWorkload(g, 50), nose.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("write-heavy (denormalization constrained)", writeHeavy)
+
+	budget := readMostly.Schema.TotalSizeBytes() * 0.6
+	constrained, err := nose.Advise(buildWorkload(g, 0.01), nose.Options{
+		SpaceBudgetBytes: budget,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(fmt.Sprintf("read-mostly under a %.0f MB budget", budget/1e6), constrained)
+
+	fmt.Println("Note how write pressure normalizes the schema and the budget")
+	fmt.Println("trades materialized views for extra lookups at query time.")
+}

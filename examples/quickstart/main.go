@@ -1,0 +1,70 @@
+// Quickstart: recommend a schema for the paper's hotel booking example
+// (Fig. 1) and print the recommended column families and query plans.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nose"
+)
+
+func main() {
+	// The conceptual model: an entity graph (paper Fig. 1, abridged).
+	g := nose.NewGraph()
+	hotel := g.AddEntity("Hotel", "HotelID", 100)
+	hotel.AddAttribute("HotelName", nose.StringType)
+	hotel.AddAttributeCard("HotelCity", nose.StringType, 50)
+
+	room := g.AddEntity("Room", "RoomID", 10_000)
+	room.AddAttributeCard("RoomNumber", nose.IntegerType, 100)
+	room.AddAttributeCard("RoomRate", nose.FloatType, 200)
+
+	guest := g.AddEntity("Guest", "GuestID", 50_000)
+	guest.AddAttribute("GuestName", nose.StringType)
+	guest.AddAttribute("GuestEmail", nose.StringType)
+
+	reservation := g.AddEntity("Reservation", "ResID", 250_000)
+	reservation.AddAttributeCard("ResStartDate", nose.DateType, 3650)
+
+	g.MustAddRelationship("Hotel", "Rooms", "Room", "Hotel", nose.OneToMany)
+	g.MustAddRelationship("Room", "Reservations", "Reservation", "Room", nose.OneToMany)
+	g.MustAddRelationship("Guest", "Reservations", "Reservation", "Guest", nose.OneToMany)
+
+	// The workload: the paper's Fig. 3 query plus an update that
+	// pressures the advisor away from over-denormalizing guest names.
+	w := nose.NewWorkload(g)
+	w.Add(nose.MustParse(g, `
+		SELECT Guest.GuestName, Guest.GuestEmail FROM Guest
+		WHERE Guest.Reservations.Room.Hotel.HotelCity = ?city
+		AND Guest.Reservations.Room.RoomRate > ?rate`), 0.8)
+	w.Add(nose.MustParse(g, `
+		SELECT Room.RoomNumber FROM Room
+		WHERE Room.Hotel.HotelCity = ?city ORDER BY Room.RoomRate`), 0.15)
+	w.Add(nose.MustParse(g, `
+		UPDATE Guest SET GuestName = ? WHERE Guest.GuestID = ?`), 0.05)
+
+	rec, err := nose.Advise(w, nose.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Recommended schema (%d column families, ~%.1f MB):\n\n",
+		rec.Schema.Len(), rec.Schema.TotalSizeBytes()/1e6)
+	fmt.Print(rec.Schema)
+
+	fmt.Println("\nQuery implementation plans:")
+	for _, qr := range rec.Queries {
+		fmt.Println()
+		fmt.Print(qr.Plan)
+	}
+
+	fmt.Println("\nUpdate maintenance:")
+	for _, ur := range rec.Updates {
+		fmt.Printf("  %s\n", ur.Plan)
+	}
+	fmt.Printf("\nEstimated weighted workload cost: %.4f (advisor ran in %v)\n",
+		rec.Cost, rec.Timings.Total)
+}

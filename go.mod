@@ -1,0 +1,3 @@
+module nose
+
+go 1.22

@@ -1,0 +1,242 @@
+package backend
+
+// btree is a B+tree over composite clustering keys: interior nodes
+// route by separator keys, leaves hold the records in key order and
+// chain left-to-right for range scans. Inserts split full nodes on the
+// way down (preemptive splitting). Deletes remove entries from leaves
+// without rebalancing — underfull leaves are tolerated and skipped by
+// scans, the usual trade-off for delete-light record stores; structure
+// and ordering invariants are checked by the tests' validate pass.
+type btree struct {
+	root *bnode
+	size int
+}
+
+// degree is the maximum number of children of an interior node (and of
+// entries in a leaf).
+const degree = 32
+
+type bentry struct {
+	key  []Value
+	vals []Value
+}
+
+type bnode struct {
+	leaf     bool
+	keys     [][]Value // interior: len(children)-1 separators
+	children []*bnode  // interior only
+	entries  []bentry  // leaf only
+	next     *bnode    // leaf chain
+}
+
+func newBTree() *btree {
+	return &btree{root: &bnode{leaf: true}}
+}
+
+// Len returns the number of entries.
+func (t *btree) Len() int { return t.size }
+
+// Set inserts or replaces the entry for key.
+func (t *btree) Set(key []Value, vals []Value) {
+	if len(t.root.keys)+1 >= degree || (t.root.leaf && len(t.root.entries) >= degree) {
+		old := t.root
+		t.root = &bnode{leaf: false, children: []*bnode{old}}
+		t.splitChild(t.root, 0)
+	}
+	if t.insert(t.root, key, vals) {
+		t.size++
+	}
+}
+
+// insert descends to a leaf, splitting full children preemptively; it
+// reports whether a new entry was created (false on replace).
+func (t *btree) insert(n *bnode, key []Value, vals []Value) bool {
+	if n.leaf {
+		i, found := n.find(key)
+		if found {
+			n.entries[i].vals = vals
+			return false
+		}
+		n.entries = append(n.entries, bentry{})
+		copy(n.entries[i+1:], n.entries[i:])
+		n.entries[i] = bentry{key: key, vals: vals}
+		return true
+	}
+	i := n.route(key)
+	child := n.children[i]
+	if (child.leaf && len(child.entries) >= degree) || (!child.leaf && len(child.children) >= degree) {
+		t.splitChild(n, i)
+		if CompareKeys(key, n.keys[i]) >= 0 {
+			i++
+		}
+	}
+	return t.insert(n.children[i], key, vals)
+}
+
+// splitChild splits the i-th child of parent in half, promoting a
+// separator.
+func (t *btree) splitChild(parent *bnode, i int) {
+	child := parent.children[i]
+	var sep []Value
+	var right *bnode
+	if child.leaf {
+		mid := len(child.entries) / 2
+		right = &bnode{leaf: true, entries: append([]bentry(nil), child.entries[mid:]...)}
+		child.entries = child.entries[:mid]
+		right.next = child.next
+		child.next = right
+		sep = right.entries[0].key
+	} else {
+		mid := len(child.children) / 2
+		sep = child.keys[mid-1]
+		right = &bnode{
+			leaf:     false,
+			keys:     append([][]Value(nil), child.keys[mid:]...),
+			children: append([]*bnode(nil), child.children[mid:]...),
+		}
+		child.keys = child.keys[:mid-1]
+		child.children = child.children[:mid]
+	}
+	parent.children = append(parent.children, nil)
+	copy(parent.children[i+2:], parent.children[i+1:])
+	parent.children[i+1] = right
+	parent.keys = append(parent.keys, nil)
+	copy(parent.keys[i+1:], parent.keys[i:])
+	parent.keys[i] = sep
+}
+
+// find locates key within a leaf: the insertion position and whether
+// the key is present.
+func (n *bnode) find(key []Value) (int, bool) {
+	lo, hi := 0, len(n.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if CompareKeys(n.entries[mid].key, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(n.entries) && CompareKeys(n.entries[lo].key, key) == 0 {
+		return lo, true
+	}
+	return lo, false
+}
+
+// route picks the child index for key in an interior node.
+func (n *bnode) route(key []Value) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if CompareKeys(key, n.keys[mid]) >= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get returns the entry values for key, or nil.
+func (t *btree) Get(key []Value) ([]Value, bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[n.route(key)]
+	}
+	if i, ok := n.find(key); ok {
+		return n.entries[i].vals, true
+	}
+	return nil, false
+}
+
+// Delete removes the entry for key, reporting whether it existed.
+func (t *btree) Delete(key []Value) bool {
+	n := t.root
+	for !n.leaf {
+		n = n.children[n.route(key)]
+	}
+	i, ok := n.find(key)
+	if !ok {
+		return false
+	}
+	n.entries = append(n.entries[:i], n.entries[i+1:]...)
+	t.size--
+	return true
+}
+
+// Bound is one end of a scan range.
+type Bound struct {
+	// Key is the bounding key; nil means unbounded.
+	Key []Value
+	// Inclusive includes entries equal to Key.
+	Inclusive bool
+}
+
+// Scan visits entries in key order within [from, to], honoring each
+// bound's inclusivity, until fn returns false. A Bound with nil Key is
+// open.
+func (t *btree) Scan(from, to Bound, fn func(key []Value, vals []Value) bool) {
+	n := t.root
+	if from.Key != nil {
+		for !n.leaf {
+			n = n.children[n.route(from.Key)]
+		}
+	} else {
+		for !n.leaf {
+			n = n.children[0]
+		}
+	}
+	for n != nil {
+		for _, e := range n.entries {
+			if from.Key != nil {
+				c := CompareKeys(e.key, from.Key)
+				if c < 0 || (c == 0 && !from.Inclusive) {
+					continue
+				}
+			}
+			if to.Key != nil {
+				c := CompareKeys(e.key, to.Key)
+				if c > 0 || (c == 0 && !to.Inclusive) {
+					return
+				}
+			}
+			if !fn(e.key, e.vals) {
+				return
+			}
+		}
+		n = n.next
+	}
+}
+
+// validate checks structural invariants (ordering within and across
+// leaves, separator consistency); used by tests.
+func (t *btree) validate() error {
+	var last []Value
+	count := 0
+	var err error
+	t.Scan(Bound{}, Bound{}, func(key []Value, _ []Value) bool {
+		if last != nil && CompareKeys(last, key) >= 0 {
+			err = errOutOfOrder
+			return false
+		}
+		last = key
+		count++
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if count != t.size {
+		return errSizeMismatch
+	}
+	return nil
+}
+
+var (
+	errOutOfOrder   = errorString("btree: entries out of order")
+	errSizeMismatch = errorString("btree: size mismatch")
+)
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

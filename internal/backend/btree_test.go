@@ -1,0 +1,195 @@
+package backend
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func k(vs ...Value) []Value { return vs }
+
+func TestBTreeSetGet(t *testing.T) {
+	tr := newBTree()
+	tr.Set(k(int64(2)), k("b"))
+	tr.Set(k(int64(1)), k("a"))
+	tr.Set(k(int64(3)), k("c"))
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	v, ok := tr.Get(k(int64(2)))
+	if !ok || v[0] != "b" {
+		t.Errorf("Get(2) = %v, %v", v, ok)
+	}
+	// Replace.
+	tr.Set(k(int64(2)), k("B"))
+	if tr.Len() != 3 {
+		t.Errorf("Len after replace = %d", tr.Len())
+	}
+	v, _ = tr.Get(k(int64(2)))
+	if v[0] != "B" {
+		t.Errorf("replaced value = %v", v)
+	}
+	if _, ok := tr.Get(k(int64(9))); ok {
+		t.Error("phantom key")
+	}
+}
+
+func TestBTreeCompositeKeyOrder(t *testing.T) {
+	tr := newBTree()
+	tr.Set(k(int64(1), "b"), k())
+	tr.Set(k(int64(1), "a"), k())
+	tr.Set(k(int64(0), "z"), k())
+	var got [][]Value
+	tr.Scan(Bound{}, Bound{}, func(key, _ []Value) bool {
+		got = append(got, append([]Value(nil), key...))
+		return true
+	})
+	if len(got) != 3 {
+		t.Fatalf("scan returned %d", len(got))
+	}
+	if got[0][0] != int64(0) || got[1][1] != "a" || got[2][1] != "b" {
+		t.Errorf("order = %v", got)
+	}
+}
+
+func TestBTreeScanBounds(t *testing.T) {
+	tr := newBTree()
+	for i := 0; i < 100; i++ {
+		tr.Set(k(int64(i)), k(int64(i*10)))
+	}
+	count := 0
+	tr.Scan(Bound{Key: k(int64(10)), Inclusive: true}, Bound{Key: k(int64(20)), Inclusive: false}, func(key, _ []Value) bool {
+		if key[0].(int64) < 10 || key[0].(int64) >= 20 {
+			t.Errorf("out of range key %v", key)
+		}
+		count++
+		return true
+	})
+	if count != 10 {
+		t.Errorf("count = %d, want 10", count)
+	}
+	// Early termination.
+	count = 0
+	tr.Scan(Bound{}, Bound{}, func(_, _ []Value) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop count = %d", count)
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	tr := newBTree()
+	for i := 0; i < 200; i++ {
+		tr.Set(k(int64(i)), k(int64(i)))
+	}
+	for i := 0; i < 200; i += 2 {
+		if !tr.Delete(k(int64(i))) {
+			t.Fatalf("Delete(%d) = false", i)
+		}
+	}
+	if tr.Delete(k(int64(0))) {
+		t.Error("double delete succeeded")
+	}
+	if tr.Len() != 100 {
+		t.Errorf("Len = %d, want 100", tr.Len())
+	}
+	if err := tr.validate(); err != nil {
+		t.Error(err)
+	}
+	for i := 1; i < 200; i += 2 {
+		if _, ok := tr.Get(k(int64(i))); !ok {
+			t.Errorf("lost key %d", i)
+		}
+	}
+}
+
+// TestBTreeRandomizedAgainstMap is a property test: a random sequence
+// of sets, deletes and scans must agree with a reference map.
+func TestBTreeRandomizedAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := newBTree()
+	ref := map[int64]int64{}
+	for op := 0; op < 20_000; op++ {
+		key := int64(rng.Intn(2000))
+		switch rng.Intn(3) {
+		case 0, 1:
+			val := rng.Int63()
+			tr.Set(k(key), k(val))
+			ref[key] = val
+		case 2:
+			got := tr.Delete(k(key))
+			_, want := ref[key]
+			if got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", op, key, got, want)
+			}
+			delete(ref, key)
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, ref %d", tr.Len(), len(ref))
+	}
+	if err := tr.validate(); err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range ref {
+		v, ok := tr.Get(k(key))
+		if !ok || v[0].(int64) != want {
+			t.Fatalf("Get(%d) = %v, %v; want %d", key, v, ok, want)
+		}
+	}
+	// Full scan matches the sorted reference.
+	prev := int64(-1)
+	n := 0
+	tr.Scan(Bound{}, Bound{}, func(key, vals []Value) bool {
+		kk := key[0].(int64)
+		if kk <= prev {
+			t.Fatalf("scan out of order: %d after %d", kk, prev)
+		}
+		if ref[kk] != vals[0].(int64) {
+			t.Fatalf("scan value mismatch at %d", kk)
+		}
+		prev = kk
+		n++
+		return true
+	})
+	if n != len(ref) {
+		t.Fatalf("scan visited %d of %d", n, len(ref))
+	}
+}
+
+func TestValueComparisons(t *testing.T) {
+	if CompareValues(int64(1), float64(1.5)) >= 0 {
+		t.Error("cross-numeric comparison wrong")
+	}
+	if CompareValues(float64(2), int64(1)) <= 0 {
+		t.Error("cross-numeric comparison wrong")
+	}
+	if CompareValues("a", "b") >= 0 || CompareValues(true, false) <= 0 {
+		t.Error("string/bool comparison wrong")
+	}
+	if CompareKeys(k(int64(1)), k(int64(1), "x")) >= 0 {
+		t.Error("prefix key should sort first")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on incomparable values")
+		}
+	}()
+	CompareValues("a", int64(1))
+}
+
+func TestEncodeKeyInjective(t *testing.T) {
+	keys := [][]Value{
+		k(int64(1)), k(int64(2)), k(float64(1)), k("1"), k(true), k(false),
+		k("ab", "c"), k("a", "bc"), k(int64(1), int64(2)), k(int64(1), "2"),
+	}
+	seen := map[string][]Value{}
+	for _, key := range keys {
+		enc := EncodeKey(key)
+		if other, dup := seen[enc]; dup {
+			t.Errorf("collision: %v and %v", key, other)
+		}
+		seen[enc] = key
+	}
+}

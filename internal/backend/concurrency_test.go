@@ -1,0 +1,72 @@
+package backend_test
+
+import (
+	"sync"
+	"testing"
+
+	"nose/internal/backend"
+	"nose/internal/cost"
+)
+
+// TestStoreConcurrentAccess exercises the store's locking under
+// parallel writers and readers on disjoint and overlapping partitions
+// (run with -race).
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := backend.NewStore(cost.DefaultParams())
+	if err := s.Create(backend.ColumnFamilyDef{
+		Name:           "t",
+		PartitionCols:  []string{"p"},
+		ClusteringCols: []string{"c"},
+		ValueCols:      []string{"v"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		writers    = 8
+		perWriter  = 500
+		partitions = 4
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				part := []backend.Value{int64(i % partitions)}
+				clust := []backend.Value{int64(w*perWriter + i)}
+				if _, err := s.Put("t", part, clust, []backend.Value{int64(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%7 == 0 {
+					if _, err := s.Get("t", backend.GetRequest{Partition: part, Limit: 10}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if i%13 == 0 {
+					if _, _, err := s.Delete("t", part, clust); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st, err := s.CFStats("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Partitions != partitions {
+		t.Errorf("partitions = %d, want %d", st.Partitions, partitions)
+	}
+	// Each writer deleted ceil(perWriter/13) of its rows.
+	deletedPerWriter := (perWriter + 12) / 13
+	want := writers * (perWriter - deletedPerWriter)
+	if st.Records != want {
+		t.Errorf("records = %d, want %d", st.Records, want)
+	}
+}

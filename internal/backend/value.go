@@ -1,0 +1,134 @@
+// Package backend implements a simulated extensible record store with
+// the Cassandra-style column family model the paper targets (§III-C):
+// column families map a composite partition key to clustering-ordered
+// records of cells, accessed only through get, put and delete. Data
+// lives in real per-partition B+trees and operations do real work; in
+// addition, every operation is charged a deterministic service time
+// from the same coefficients as the advisor's cost model, so measured
+// "response times" compare schemas the way the paper's Cassandra
+// testbed did without hardware noise.
+package backend
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Value is one cell or key component: int64, float64, string or bool.
+// Using a small closed set of dynamic types mirrors the record store's
+// untyped cells while keeping comparisons well-defined.
+type Value = any
+
+// CompareValues orders two values of the same kind; numeric kinds
+// compare across int64/float64. It panics on incomparable kinds, which
+// indicates a schema/loader bug rather than a runtime condition.
+func CompareValues(a, b Value) int {
+	switch av := a.(type) {
+	case int64:
+		switch bv := b.(type) {
+		case int64:
+			switch {
+			case av < bv:
+				return -1
+			case av > bv:
+				return 1
+			default:
+				return 0
+			}
+		case float64:
+			return compareFloat(float64(av), bv)
+		}
+	case float64:
+		switch bv := b.(type) {
+		case float64:
+			return compareFloat(av, bv)
+		case int64:
+			return compareFloat(av, float64(bv))
+		}
+	case string:
+		if bv, ok := b.(string); ok {
+			return strings.Compare(av, bv)
+		}
+	case bool:
+		if bv, ok := b.(bool); ok {
+			switch {
+			case av == bv:
+				return 0
+			case !av:
+				return -1
+			default:
+				return 1
+			}
+		}
+	}
+	panic(fmt.Sprintf("backend: incomparable values %T and %T", a, b))
+}
+
+func compareFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// CompareKeys orders two composite keys lexicographically. A shorter
+// key that is a prefix of a longer one sorts first.
+func CompareKeys(a, b []Value) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := CompareValues(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// EncodeKey serializes a composite key to a string usable as a map key.
+// The encoding is injective: distinct keys encode distinctly.
+func EncodeKey(key []Value) string {
+	var b strings.Builder
+	var buf [8]byte
+	for _, v := range key {
+		switch x := v.(type) {
+		case int64:
+			b.WriteByte('i')
+			binary.BigEndian.PutUint64(buf[:], uint64(x))
+			b.Write(buf[:])
+		case float64:
+			b.WriteByte('f')
+			binary.BigEndian.PutUint64(buf[:], math.Float64bits(x))
+			b.Write(buf[:])
+		case string:
+			b.WriteByte('s')
+			binary.BigEndian.PutUint64(buf[:], uint64(len(x)))
+			b.Write(buf[:])
+			b.WriteString(x)
+		case bool:
+			b.WriteByte('b')
+			if x {
+				b.WriteByte(1)
+			} else {
+				b.WriteByte(0)
+			}
+		default:
+			panic(fmt.Sprintf("backend: unsupported key value %T", v))
+		}
+	}
+	return b.String()
+}

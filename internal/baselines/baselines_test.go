@@ -1,0 +1,249 @@
+package baselines_test
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"nose/internal/backend"
+	"nose/internal/baselines"
+	"nose/internal/bip"
+	"nose/internal/cost"
+	"nose/internal/executor"
+	"nose/internal/harness"
+	"nose/internal/planner"
+	"nose/internal/rubis"
+	"nose/internal/search"
+	"nose/internal/workload"
+)
+
+func tinyConfig() rubis.Config { return rubis.Config{Users: 300, Seed: 7} }
+
+// fixture caches the expensive advisor and baseline runs shared by the
+// integration tests.
+type fixtureT struct {
+	ds      *backend.Dataset
+	txns    []*rubis.Transaction
+	w       *workload.Workload
+	noseRec *search.Recommendation
+	normRec *search.Recommendation
+	expRec  *search.Recommendation
+}
+
+var (
+	fixOnce sync.Once
+	fix     *fixtureT
+	fixErr  error
+)
+
+func getFixture(t *testing.T) *fixtureT {
+	t.Helper()
+	fixOnce.Do(func() {
+		cfg := tinyConfig()
+		ds, err := rubis.Generate(cfg)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		g := ds.Graph
+		w, txns, err := rubis.Workload(g)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		opts := search.Options{
+			Planner:         planner.Config{MaxPlansPerQuery: 24},
+			MaxSupportPlans: 6,
+			BIP:             bip.Options{MaxNodes: 300, Gap: 0.01},
+		}
+		noseRec, err := search.Advise(w, opts)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		normPool, err := baselines.Normalized(w)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		normRec, err := baselines.Recommend(w, normPool, cost.Default(), planner.DefaultConfig())
+		if err != nil {
+			fixErr = err
+			return
+		}
+		expPool, err := baselines.ExpertRUBiS(g)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		expRec, err := baselines.Recommend(w, expPool, cost.Default(), planner.DefaultConfig())
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fix = &fixtureT{ds: ds, txns: txns, w: w, noseRec: noseRec, normRec: normRec, expRec: expRec}
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fix
+}
+
+func TestNormalizedCoversRUBiS(t *testing.T) {
+	g := rubis.Graph(tinyConfig())
+	w, _, err := rubis.Workload(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := baselines.Normalized(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := baselines.Recommend(w, pool, cost.Default(), planner.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Queries) != len(w.Queries()) {
+		t.Errorf("plans for %d of %d queries", len(rec.Queries), len(w.Queries()))
+	}
+	if len(rec.Updates) == 0 {
+		t.Error("no update maintenance")
+	}
+	// Normalized plans should use more lookups than a denormalized
+	// single get for multi-entity queries.
+	for _, qr := range rec.Queries {
+		q := qr.Statement.Statement.(*workload.Query)
+		if q.Path.Len() >= 3 && len(qr.Plan.Indexes()) < 2 {
+			t.Errorf("suspiciously denormalized plan for %s:\n%s", workload.Label(q), qr.Plan)
+		}
+	}
+}
+
+func TestExpertCoversRUBiS(t *testing.T) {
+	g := rubis.Graph(tinyConfig())
+	w, _, err := rubis.Workload(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := baselines.ExpertRUBiS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := baselines.Recommend(w, pool, cost.Default(), planner.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Schema.Len(); got != 11 {
+		t.Errorf("expert schema has %d families, want 11", got)
+	}
+	// The expert answers the hot read paths with a single get, but —
+	// having kept mutable user data out of bid rows — pays an extra
+	// per-bidder lookup on the bid history (the rule-of-thumb
+	// imperfection behind the paper's single-transaction gap).
+	single := map[string]bool{
+		"SearchItemsByCategory/0": true,
+		"ViewItem/0":              true,
+	}
+	for _, qr := range rec.Queries {
+		label := workload.Label(qr.Statement.Statement)
+		if single[label] && len(qr.Plan.Indexes()) != 1 {
+			t.Errorf("expert plan for %s uses %d families:\n%s", label, len(qr.Plan.Indexes()), qr.Plan)
+		}
+		if label == "ViewBidHistory/1" && len(qr.Plan.Indexes()) < 2 {
+			t.Errorf("expert bid history unexpectedly answered by one family:\n%s", qr.Plan)
+		}
+	}
+}
+
+// TestAllSystemsAgreeOnRUBiS is the central integrity check behind the
+// Fig. 11 comparison: the NoSE, normalized, and expert systems must
+// return identical answers for every read transaction.
+func TestAllSystemsAgreeOnRUBiS(t *testing.T) {
+	f := getFixture(t)
+	cfg := tinyConfig()
+	ds, txns := f.ds, f.txns
+
+	systems := make([]*harness.System, 0, 3)
+	for _, def := range []struct {
+		name string
+		rec  *search.Recommendation
+	}{{"NoSE", f.noseRec}, {"Normalized", f.normRec}, {"Expert", f.expRec}} {
+		sys, err := harness.NewSystem(def.name, ds, def.rec, cost.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		systems = append(systems, sys)
+	}
+
+	ps := rubis.NewParamSource(cfg, 99)
+	for _, txn := range txns {
+		if txn.HasWrites {
+			continue // writes diverge state; reads compared below
+		}
+		for trial := 0; trial < 3; trial++ {
+			params := ps.Params(txn.Name)
+			for _, st := range txn.Statements {
+				q, ok := st.(*workload.Query)
+				if !ok {
+					continue
+				}
+				want, err := executor.Oracle(ds, q, params)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantC := executor.CanonicalRows(want)
+				for _, sys := range systems {
+					var plan interface {
+						String() string
+					}
+					got := runQuery(t, sys, st, params)
+					if !reflect.DeepEqual(got, wantC) {
+						t.Errorf("%s disagrees with oracle on %s (%d vs %d rows)",
+							sys.Name, workload.Label(st), len(got), len(wantC))
+					}
+					_ = plan
+				}
+			}
+		}
+	}
+}
+
+func runQuery(t *testing.T, sys *harness.System, st workload.Statement, params executor.Params) []string {
+	t.Helper()
+	for _, qr := range sys.Rec.Queries {
+		if qr.Statement.Statement == st {
+			res, err := sys.Exec.ExecuteQuery(qr.Plan, params)
+			if err != nil {
+				t.Fatalf("%s: %v\nplan:\n%s", sys.Name, err, qr.Plan)
+			}
+			return executor.CanonicalRows(res.Rows)
+		}
+	}
+	t.Fatalf("%s has no plan for %s", sys.Name, workload.Label(st))
+	return nil
+}
+
+func TestWriteTransactionsExecuteOnAllSystems(t *testing.T) {
+	f := getFixture(t)
+	cfg := tinyConfig()
+	ds, txns := f.ds, f.txns
+
+	for i, rec := range []*search.Recommendation{f.noseRec, f.normRec, f.expRec} {
+		sys, err := harness.NewSystem(fmt.Sprintf("sys%d", i), ds, rec, cost.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps := rubis.NewParamSource(cfg, int64(1000+i))
+		for _, txn := range txns {
+			params := ps.Params(txn.Name)
+			ms, err := sys.ExecTransaction(txn.Statements, params)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", txn.Name, sys.Name, err)
+			}
+			if ms < 0 {
+				t.Errorf("%s: negative time", txn.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,358 @@
+// Package bip solves binary integer programs: linear programs in which
+// designated variables must take values in {0, 1}. The solver is a
+// best-first branch and bound over LP relaxations (solved by
+// internal/lp), with a rounding heuristic to find incumbents early and
+// most-fractional branching.
+//
+// NoSE's schema optimizer (paper §V) formulates column family selection
+// as such a program; the paper hands it to Gurobi, which has no pure-Go
+// counterpart, so this package provides the exact solver the advisor
+// needs.
+package bip
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"nose/internal/lp"
+)
+
+// Program is a 0-1 integer program under construction. It wraps an LP
+// and records which columns are binary.
+type Program struct {
+	lp     *lp.Problem
+	binary []int
+	isBin  map[int]bool
+}
+
+// New returns an empty program.
+func New() *Program {
+	return &Program{lp: lp.NewProblem(), isBin: map[int]bool{}}
+}
+
+// AddRow appends a constraint row with activity bounds [lo, hi].
+func (p *Program) AddRow(lo, hi float64) int { return p.lp.AddRow(lo, hi) }
+
+// AddBinary appends a binary variable and returns its column index.
+func (p *Program) AddBinary(obj float64, entries ...lp.Entry) int {
+	col := p.lp.AddCol(obj, 0, 1, entries...)
+	p.binary = append(p.binary, col)
+	p.isBin[col] = true
+	return col
+}
+
+// AddCol appends a continuous variable.
+func (p *Program) AddCol(obj, lo, hi float64, entries ...lp.Entry) int {
+	return p.lp.AddCol(obj, lo, hi, entries...)
+}
+
+// SetObj changes a column's objective coefficient.
+func (p *Program) SetObj(col int, obj float64) { p.lp.SetObj(col, obj) }
+
+// SetRowBounds changes a row's activity bounds.
+func (p *Program) SetRowBounds(row int, lo, hi float64) { p.lp.SetRowBounds(row, lo, hi) }
+
+// NumRows returns the number of constraint rows.
+func (p *Program) NumRows() int { return p.lp.NumRows() }
+
+// NumCols returns the number of variables.
+func (p *Program) NumCols() int { return p.lp.NumCols() }
+
+// Status reports the outcome of an integer solve.
+type Status int
+
+const (
+	// Optimal means a provably optimal integer solution was found.
+	Optimal Status = iota
+	// Infeasible means no integer solution satisfies the constraints.
+	Infeasible
+	// NodeLimit means the search stopped early; Objective holds the
+	// best incumbent found, if any (check HasSolution).
+	NodeLimit
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case NodeLimit:
+		return "node-limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Options tunes the branch and bound search.
+type Options struct {
+	// MaxNodes bounds the number of explored nodes; zero means
+	// DefaultMaxNodes.
+	MaxNodes int
+	// Gap is the relative optimality gap at which search stops; zero
+	// means exact (up to numerical tolerance).
+	Gap float64
+	// Incumbent optionally seeds the search with a known feasible
+	// assignment of the binary variables (continuous variables are
+	// re-optimized). A good warm start lets the search prune
+	// aggressively from the first node.
+	Incumbent []float64
+}
+
+// DefaultMaxNodes bounds the search when Options leaves MaxNodes zero.
+const DefaultMaxNodes = 50_000
+
+// Result is the outcome of an integer solve.
+type Result struct {
+	// Status reports the search outcome.
+	Status Status
+	// HasSolution reports whether X and Objective hold an incumbent.
+	HasSolution bool
+	// Objective is the incumbent objective value.
+	Objective float64
+	// X holds the incumbent variable values; binary variables are
+	// exactly 0 or 1.
+	X []float64
+	// Nodes is the number of branch and bound nodes explored.
+	Nodes int
+}
+
+const intTol = 1e-6
+
+// fix pins one binary column to a value.
+type fix struct {
+	col int
+	val float64
+}
+
+// node is one branch and bound subproblem.
+type node struct {
+	bound float64
+	fixes []fix
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].bound < h[j].bound }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Solve runs branch and bound and returns the best integer solution.
+func (p *Program) Solve(opt Options) (*Result, error) {
+	maxNodes := opt.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = DefaultMaxNodes
+	}
+
+	res := &Result{Status: Optimal}
+	incumbent := math.Inf(1)
+	var incumbentX []float64
+
+	tryIncumbent := func(x []float64, obj float64) {
+		if obj < incumbent-1e-9 {
+			incumbent = obj
+			incumbentX = append([]float64(nil), x...)
+		}
+	}
+
+	// solveWith applies fixes, solves the relaxation, and reverts.
+	solveWith := func(fixes []fix) (*lp.Solution, error) {
+		for _, f := range fixes {
+			p.lp.SetColBounds(f.col, f.val, f.val)
+		}
+		sol, err := p.lp.Solve()
+		for _, f := range fixes {
+			p.lp.SetColBounds(f.col, 0, 1)
+		}
+		return sol, err
+	}
+
+	// roundAndRepair rounds fractional binaries and re-solves with all
+	// of them fixed; a feasible result becomes an incumbent.
+	roundAndRepair := func(x []float64, fixes []fix) error {
+		rounded := make([]fix, 0, len(p.binary))
+		rounded = append(rounded, fixes...)
+		fixed := map[int]bool{}
+		for _, f := range fixes {
+			fixed[f.col] = true
+		}
+		for _, col := range p.binary {
+			if fixed[col] {
+				continue
+			}
+			v := 0.0
+			if x[col] >= 0.5 {
+				v = 1
+			}
+			rounded = append(rounded, fix{col: col, val: v})
+		}
+		sol, err := solveWith(rounded)
+		if err != nil {
+			return err
+		}
+		if sol.Status == lp.Optimal {
+			tryIncumbent(sol.X, sol.Objective)
+		}
+		return nil
+	}
+
+	open := &nodeHeap{}
+	heap.Init(open)
+
+	// Validate and adopt the seeded incumbent, if any.
+	if len(opt.Incumbent) == p.NumCols() {
+		fixes := make([]fix, 0, len(p.binary))
+		for _, col := range p.binary {
+			v := 0.0
+			if opt.Incumbent[col] >= 0.5 {
+				v = 1
+			}
+			fixes = append(fixes, fix{col: col, val: v})
+		}
+		sol, err := solveWith(fixes)
+		if err != nil {
+			return nil, err
+		}
+		if sol.Status == lp.Optimal {
+			tryIncumbent(sol.X, sol.Objective)
+		}
+	}
+
+	root := &node{bound: math.Inf(-1)}
+	rootSol, err := solveWith(nil)
+	if err != nil {
+		return nil, err
+	}
+	switch rootSol.Status {
+	case lp.Infeasible:
+		return &Result{Status: Infeasible}, nil
+	case lp.Unbounded:
+		return nil, fmt.Errorf("bip: relaxation is unbounded")
+	case lp.IterationLimit:
+		return nil, fmt.Errorf("bip: relaxation hit the iteration limit")
+	}
+	root.bound = rootSol.Objective
+	if col := p.mostFractional(rootSol.X, nil); col == -1 {
+		tryIncumbent(rootSol.X, rootSol.Objective)
+	} else {
+		if err := roundAndRepair(rootSol.X, nil); err != nil {
+			return nil, err
+		}
+		heap.Push(open, root)
+	}
+
+	for open.Len() > 0 {
+		if res.Nodes >= maxNodes {
+			res.Status = NodeLimit
+			break
+		}
+		nd := heap.Pop(open).(*node)
+		if nd.bound >= incumbent-gapSlack(opt.Gap, incumbent) {
+			continue // bound-dominated
+		}
+		res.Nodes++
+
+		sol, err := solveWith(nd.fixes)
+		if err != nil {
+			return nil, err
+		}
+		if sol.Status != lp.Optimal {
+			continue // infeasible or numerically stuck subtree
+		}
+		if sol.Objective >= incumbent-gapSlack(opt.Gap, incumbent) {
+			continue
+		}
+		col := p.mostFractional(sol.X, nd.fixes)
+		if col == -1 {
+			tryIncumbent(sol.X, sol.Objective)
+			continue
+		}
+		if res.Nodes%16 == 1 {
+			if err := roundAndRepair(sol.X, nd.fixes); err != nil {
+				return nil, err
+			}
+		}
+		for _, v := range [2]float64{1, 0} {
+			child := &node{
+				bound: sol.Objective,
+				fixes: append(append([]fix(nil), nd.fixes...), fix{col: col, val: v}),
+			}
+			heap.Push(open, child)
+		}
+	}
+
+	if math.IsInf(incumbent, 1) {
+		if res.Status == NodeLimit {
+			return &Result{Status: NodeLimit}, nil
+		}
+		return &Result{Status: Infeasible}, nil
+	}
+	res.HasSolution = true
+	res.Objective = incumbent
+	res.X = incumbentX
+	// Snap binaries exactly.
+	for _, col := range p.binary {
+		if res.X[col] >= 0.5 {
+			res.X[col] = 1
+		} else {
+			res.X[col] = 0
+		}
+	}
+	return res, nil
+}
+
+func gapSlack(gap, incumbent float64) float64 {
+	slack := 1e-7
+	if gap > 0 && !math.IsInf(incumbent, 1) {
+		s := gap * math.Abs(incumbent)
+		if s > slack {
+			slack = s
+		}
+	}
+	return slack
+}
+
+// mostFractional returns the unfixed fractional binary column to
+// branch on, or -1 when all are integral. Among fractional variables
+// it prefers the most connected one (most constraint entries): in
+// selection problems those are the structural variables whose fixing
+// propagates furthest, closing the gap in far fewer nodes than pure
+// most-fractional branching.
+func (p *Program) mostFractional(x []float64, fixes []fix) int {
+	fixed := map[int]bool{}
+	for _, f := range fixes {
+		fixed[f.col] = true
+	}
+	best, bestScore := -1, 0.0
+	for _, col := range p.binary {
+		if fixed[col] {
+			continue
+		}
+		frac := math.Abs(x[col] - math.Round(x[col]))
+		if frac <= intTol {
+			continue
+		}
+		score := frac * float64(1+p.lp.ColEntryCount(col))
+		if score > bestScore {
+			bestScore = score
+			best = col
+		}
+	}
+	return best
+}
+
+// AddColEntry appends one coefficient to an existing column, attaching
+// it to a row created after the column.
+func (p *Program) AddColEntry(col, row int, coef float64) {
+	p.lp.AddEntry(col, row, coef)
+}

@@ -1,0 +1,85 @@
+package enumerator
+
+import (
+	"nose/internal/workload"
+)
+
+// Result is the outcome of workload enumeration: the candidate pool and
+// the support queries discovered for each (update, candidate) pair.
+type Result struct {
+	// Pool holds every enumerated candidate column family.
+	Pool *Pool
+	// Support maps each write statement to the support queries needed
+	// per candidate index it modifies, keyed by the index's canonical
+	// ID.
+	Support map[workload.WriteStatement]map[string][]*workload.Query
+}
+
+// Features toggles optional enumeration steps, for ablation studies.
+type Features struct {
+	// SkipCombine disables the Combine supplement (paper §IV-A3).
+	SkipCombine bool
+	// SkipReverse disables reversed-orientation enumeration, leaving
+	// only candidates anchored at the far end of each query path.
+	SkipReverse bool
+}
+
+// EnumerateWorkload runs the paper's Algorithm 1: enumerate candidates
+// for every query in the workload, then — twice, to cover paths first
+// reached by support queries — enumerate candidates for the support
+// queries of every update against every candidate it modifies, and
+// finally supplement the pool with combined candidates.
+func EnumerateWorkload(w *workload.Workload) (*Result, error) {
+	return EnumerateWorkloadWith(w, Features{})
+}
+
+// EnumerateWorkloadWith is EnumerateWorkload with feature toggles.
+func EnumerateWorkloadWith(w *workload.Workload, feats Features) (*Result, error) {
+	pool := NewPool()
+	pool.feats = feats
+	for _, ws := range w.Queries() {
+		if err := EnumerateQuery(pool, ws.Statement.(*workload.Query)); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{
+		Pool:    pool,
+		Support: map[workload.WriteStatement]map[string][]*workload.Query{},
+	}
+
+	// The paper runs support-query enumeration twice: candidates added
+	// for support queries in the first pass may themselves require
+	// support queries with paths not yet covered.
+	for pass := 0; pass < 2; pass++ {
+		for _, ws := range w.Updates() {
+			u := ws.Statement.(workload.WriteStatement)
+			perIndex := res.Support[u]
+			if perIndex == nil {
+				perIndex = map[string][]*workload.Query{}
+				res.Support[u] = perIndex
+			}
+			for _, x := range pool.Indexes() {
+				if _, done := perIndex[x.ID()]; done {
+					continue
+				}
+				if !Modifies(u, x) {
+					continue
+				}
+				sqs := SupportQueries(u, x)
+				perIndex[x.ID()] = sqs
+				for _, sq := range sqs {
+					// Support queries always carry an equality
+					// predicate by construction, so enumeration
+					// cannot fail; ignore the error defensively.
+					_ = EnumerateQuery(pool, sq)
+				}
+			}
+		}
+	}
+
+	if !feats.SkipCombine {
+		Combine(pool)
+	}
+	return res, nil
+}

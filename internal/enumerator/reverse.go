@@ -1,0 +1,42 @@
+package enumerator
+
+import (
+	"nose/internal/workload"
+)
+
+// ReverseQuery re-anchors a query at the far end of its path, mapping
+// every attribute reference to the reversed position. The result set is
+// identical; only the traversal orientation changes. Enumerating and
+// planning both orientations lets chains start from whichever end
+// carries an equality predicate — a query like
+//
+//	SELECT Item.ItemName FROM User.Bids.Item WHERE User.UserID = ?
+//
+// anchors at User, so its lookup chains must traverse User→Bid→Item,
+// which in reversed orientation is the paper's prefix/remainder
+// decomposition.
+func ReverseQuery(q *workload.Query) *workload.Query {
+	if len(q.Path.Edges) == 0 {
+		return q
+	}
+	n := q.Path.Len() - 1
+	flip := func(r workload.AttrRef) workload.AttrRef {
+		return workload.AttrRef{Index: n - r.Index, Attr: r.Attr}
+	}
+	out := &workload.Query{
+		Label: q.Label + "/rev",
+		Graph: q.Graph,
+		Path:  q.Path.Reverse(),
+		Limit: q.Limit,
+	}
+	for _, s := range q.Select {
+		out.Select = append(out.Select, flip(s))
+	}
+	for _, p := range q.Where {
+		out.Where = append(out.Where, workload.Predicate{Ref: flip(p.Ref), Op: p.Op, Param: p.Param})
+	}
+	for _, o := range q.Order {
+		out.Order = append(out.Order, flip(o))
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+// Package enumerator generates candidate column families for a workload
+// (paper §IV-A): per-query candidates via recursive query decomposition
+// with predicate relaxation, combined candidates (Combine), and the
+// support queries updates need (paper §VI-B, §VI-C, Algorithm 1).
+package enumerator
+
+import (
+	"fmt"
+
+	"nose/internal/model"
+	"nose/internal/workload"
+)
+
+// SplitParamPrefix prefixes the synthetic parameter names introduced for
+// the entity-id equality predicates of remainder and support queries.
+// The executor binds these from intermediate results rather than from
+// statement parameters.
+const SplitParamPrefix = "__id_"
+
+// PrefixQuery builds the prefix query for decomposing q at path position
+// s (paper Fig. 5): the sub-query covering path entities [s..end],
+// anchored at entity s, selecting entity s's key plus any of q's
+// selected attributes that live at positions >= s, and keeping exactly
+// q's predicates at positions >= s.
+func PrefixQuery(q *workload.Query, s int) *workload.Query {
+	sub := &workload.Query{
+		Label: fmt.Sprintf("%s/prefix@%d", workload.Label(q), s),
+		Graph: q.Graph,
+		Path:  q.Path.SuffixFrom(s),
+	}
+	target := q.Path.EntityAt(s)
+	sub.Select = append(sub.Select, workload.AttrRef{Index: 0, Attr: target.Key()})
+	for _, sel := range q.Select {
+		if sel.Index >= s && sel.Attr != target.Key() {
+			sub.Select = append(sub.Select, workload.AttrRef{Index: sel.Index - s, Attr: sel.Attr})
+		}
+	}
+	for _, p := range q.Where {
+		if p.Ref.Index >= s {
+			sub.Where = append(sub.Where, workload.Predicate{
+				Ref:   workload.AttrRef{Index: p.Ref.Index - s, Attr: p.Ref.Attr},
+				Op:    p.Op,
+				Param: p.Param,
+			})
+		}
+	}
+	for _, o := range q.Order {
+		if o.Index >= s {
+			sub.Order = append(sub.Order, workload.AttrRef{Index: o.Index - s, Attr: o.Attr})
+		}
+	}
+	return sub
+}
+
+// RemainderQuery builds the remainder query for decomposing q at path
+// position s (paper Fig. 5): the sub-query covering path entities
+// [0..s], keeping q's predicates at positions < s and gaining an
+// equality predicate on entity s's key, whose value the application
+// obtains by executing a plan for the prefix query.
+func RemainderQuery(q *workload.Query, s int) *workload.Query {
+	sub := &workload.Query{
+		Label: fmt.Sprintf("%s/rem@%d", workload.Label(q), s),
+		Graph: q.Graph,
+		Path:  q.Path.Prefix(s),
+		Limit: q.Limit,
+	}
+	for _, sel := range q.Select {
+		if sel.Index < s {
+			sub.Select = append(sub.Select, sel)
+		}
+	}
+	if len(sub.Select) == 0 {
+		sub.Select = append(sub.Select, workload.AttrRef{Index: 0, Attr: q.Path.Start.Key()})
+	}
+	for _, p := range q.Where {
+		if p.Ref.Index < s {
+			sub.Where = append(sub.Where, p)
+		}
+	}
+	joinEntity := q.Path.EntityAt(s)
+	sub.Where = append(sub.Where, workload.Predicate{
+		Ref:   workload.AttrRef{Index: s, Attr: joinEntity.Key()},
+		Op:    workload.Eq,
+		Param: SplitParamPrefix + joinEntity.Name,
+	})
+	for _, o := range q.Order {
+		if o.Index < s {
+			sub.Order = append(sub.Order, o)
+		}
+	}
+	return sub
+}
+
+// IDQuery builds a query fetching the given non-key attributes of one
+// entity by its key: the query behind the "ID to attributes" candidate
+// column families the enumerator adds when a prefix query selects
+// non-key attributes (paper §IV-A2), and behind the enrichment lookups
+// plans use to apply relaxed predicates.
+func IDQuery(g *model.Graph, e *model.Entity, attrs []*model.Attribute) *workload.Query {
+	q := &workload.Query{
+		Label: fmt.Sprintf("%s/byid", e.Name),
+		Graph: g,
+		Path:  model.NewPath(e),
+		Where: []workload.Predicate{{
+			Ref:   workload.AttrRef{Index: 0, Attr: e.Key()},
+			Op:    workload.Eq,
+			Param: SplitParamPrefix + e.Name,
+		}},
+	}
+	for _, a := range attrs {
+		q.Select = append(q.Select, workload.AttrRef{Index: 0, Attr: a})
+	}
+	return q
+}

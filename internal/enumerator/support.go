@@ -1,0 +1,369 @@
+package enumerator
+
+import (
+	"fmt"
+
+	"nose/internal/model"
+	"nose/internal/schema"
+	"nose/internal/workload"
+)
+
+// Modifies reports whether executing the write statement requires
+// modifying records of the index (paper Algorithm 1's Modifies?
+// predicate). Updates modify an index when it stores a written
+// attribute; deletes when the deleted entity lies on the index path;
+// connects when the index path traverses the relationship's edge;
+// inserts when the new entity lies on the path and the insert's
+// connections reach every side of the path around the entity (otherwise
+// no complete record can come into existence).
+func Modifies(u workload.WriteStatement, x *schema.Index) bool {
+	switch st := u.(type) {
+	case *workload.Update:
+		if !x.Path.Contains(st.Entity()) {
+			return false
+		}
+		for _, a := range st.WrittenAttributes() {
+			if x.Contains(a) {
+				return true
+			}
+		}
+		return false
+	case *workload.Delete:
+		return x.Path.Contains(st.Entity())
+	case *workload.Connect:
+		return edgePosition(x.Path, st.Edge) >= 0
+	case *workload.Insert:
+		k := x.Path.IndexOf(st.Entity)
+		if k < 0 {
+			return false
+		}
+		if k > 0 && !insertReaches(st, x.Path.Edges[k-1].Inverse) {
+			return false
+		}
+		if k < len(x.Path.Edges) && !insertReaches(st, x.Path.Edges[k]) {
+			return false
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// insertReaches reports whether the insert creates a connection along
+// the given edge leaving the inserted entity.
+func insertReaches(st *workload.Insert, ed *model.Edge) bool {
+	for _, c := range st.Connections {
+		if c.Edge == ed || c.Edge == ed.Inverse && c.Edge.From == ed.From {
+			return true
+		}
+	}
+	return false
+}
+
+// edgePosition returns i such that path.Edges[i] is the given edge or
+// its inverse, or -1.
+func edgePosition(p model.Path, ed *model.Edge) int {
+	for i, e := range p.Edges {
+		if e == ed || e == ed.Inverse {
+			return i
+		}
+	}
+	return -1
+}
+
+// SupportQueries constructs the queries whose answers supply the
+// attribute values needed to build put and delete requests against x
+// when executing u (paper §VI-B). The queries cover three needs:
+// locating the affected entity instances, gathering needed attributes
+// stored on the path before the written entity, and gathering those
+// after it. Statements whose parameters already supply everything
+// yield no support queries.
+func SupportQueries(u workload.WriteStatement, x *schema.Index) []*workload.Query {
+	if !Modifies(u, x) {
+		return nil
+	}
+	switch st := u.(type) {
+	case *workload.Update:
+		return entitySupportQueries(st.Graph, x, st.Entity(), st.Path, st.Where, st.WrittenAttributes(), workload.Label(st))
+	case *workload.Delete:
+		return entitySupportQueries(st.Graph, x, st.Entity(), st.Path, st.Where, nil, workload.Label(st))
+	case *workload.Connect:
+		return connectSupportQueries(x, st)
+	case *workload.Insert:
+		return insertSupportQueries(x, st)
+	default:
+		return nil
+	}
+}
+
+// neededAttrs returns the attributes of x that must be obtained from the
+// record store to rebuild affected records: everything x stores except
+// attributes the statement itself supplies.
+func neededAttrs(x *schema.Index, supplied []*model.Attribute) []*model.Attribute {
+	isSupplied := map[*model.Attribute]bool{}
+	for _, a := range supplied {
+		isSupplied[a] = true
+	}
+	var out []*model.Attribute
+	for _, a := range x.AllAttributes() {
+		if !isSupplied[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// entitySupportQueries builds support queries for updates and deletes
+// anchored at entity e with the given selection predicates.
+func entitySupportQueries(g *model.Graph, x *schema.Index, e *model.Entity, stPath model.Path, where []workload.Predicate, written []*model.Attribute, label string) []*workload.Query {
+	// Written attributes are supplied by the statement, except when
+	// they sit in x's primary key: deleting the stale record then
+	// requires their old values, which must be fetched.
+	inKey := map[*model.Attribute]bool{}
+	for _, a := range x.KeyAttributes() {
+		inKey[a] = true
+	}
+	var supplied []*model.Attribute
+	for _, a := range written {
+		if !inKey[a] {
+			supplied = append(supplied, a)
+		}
+	}
+	if keyGiven(where, e) {
+		supplied = append(supplied, e.Key())
+	}
+	needed := neededAttrs(x, supplied)
+	k := x.Path.IndexOf(e)
+
+	var out []*workload.Query
+
+	// Locate affected entities (and pick up e's own needed attributes).
+	ownAttrs := attrsOfEntity(needed, e)
+	if !keyGiven(where, e) {
+		q := &workload.Query{
+			Label: fmt.Sprintf("%s/locate", label),
+			Graph: g,
+			Path:  stPath,
+			Where: where,
+		}
+		q.Select = append(q.Select, workload.AttrRef{Index: 0, Attr: e.Key()})
+		for _, a := range ownAttrs {
+			if a != e.Key() {
+				q.Select = append(q.Select, workload.AttrRef{Index: 0, Attr: a})
+			}
+		}
+		out = append(out, q)
+	} else if len(nonKey(ownAttrs, e)) > 0 {
+		out = append(out, IDQuery(g, e, nonKey(ownAttrs, e)))
+	}
+
+	// Gather needed attributes on each side of e along x's path.
+	if q := sideSupportQuery(g, x, k, e, needed, false, label); q != nil {
+		out = append(out, q)
+	}
+	if q := sideSupportQuery(g, x, k, e, needed, true, label); q != nil {
+		out = append(out, q)
+	}
+	return out
+}
+
+// sideSupportQuery builds the support query covering one side of x's
+// path relative to position k, keyed by e's id. forward selects the
+// suffix [k..end]; otherwise the reversed prefix [0..k].
+func sideSupportQuery(g *model.Graph, x *schema.Index, k int, e *model.Entity, needed []*model.Attribute, forward bool, label string) *workload.Query {
+	var side model.Path
+	if forward {
+		side = x.Path.SuffixFrom(k)
+	} else {
+		side = x.Path.Prefix(k).Reverse()
+	}
+	if len(side.Edges) == 0 {
+		return nil
+	}
+	return sideQueryFrom(g, side, e, needed, label)
+}
+
+// sideQueryFrom builds a query over the given path (anchored at e)
+// selecting the needed attributes and entity ids of the path's non-root
+// entities, keyed by e's id.
+func sideQueryFrom(g *model.Graph, side model.Path, e *model.Entity, needed []*model.Attribute, label string) *workload.Query {
+	q := &workload.Query{
+		Label: fmt.Sprintf("%s/side@%s", label, side),
+		Graph: g,
+		Path:  side,
+		Where: []workload.Predicate{{
+			Ref:   workload.AttrRef{Index: 0, Attr: side.Start.Key()},
+			Op:    workload.Eq,
+			Param: SplitParamPrefix + side.Start.Name,
+		}},
+	}
+	selected := map[*model.Attribute]bool{}
+	for i := 1; i < side.Len(); i++ {
+		ent := side.EntityAt(i)
+		for _, a := range needed {
+			if a.Entity == ent && !selected[a] {
+				selected[a] = true
+				q.Select = append(q.Select, workload.AttrRef{Index: i, Attr: a})
+			}
+		}
+		if !selected[ent.Key()] {
+			selected[ent.Key()] = true
+			q.Select = append(q.Select, workload.AttrRef{Index: i, Attr: ent.Key()})
+		}
+	}
+	if len(q.Select) == 0 {
+		return nil
+	}
+	return q
+}
+
+// connectSupportQueries builds the side queries for CONNECT and
+// DISCONNECT: both endpoint keys are statement parameters, and each
+// side of the traversed edge is gathered starting from its endpoint.
+func connectSupportQueries(x *schema.Index, st *workload.Connect) []*workload.Query {
+	i := edgePosition(x.Path, st.Edge)
+	needed := neededAttrs(x, nil)
+	label := workload.Label(st)
+
+	// Orient: which endpoint of x.Path.Edges[i] is the statement's From?
+	pathEdge := x.Path.Edges[i]
+	lowEntity, highEntity := pathEdge.From, pathEdge.To
+
+	var out []*workload.Query
+	// Low side: reversed prefix [0..i] anchored at lowEntity.
+	lowSide := x.Path.Prefix(i).Reverse()
+	// High side: suffix [i+1..end] anchored at highEntity.
+	highSide := x.Path.SuffixFrom(i + 1)
+
+	// Each endpoint also contributes its own non-key needed attributes.
+	for _, pair := range []struct {
+		e    *model.Entity
+		side model.Path
+	}{{lowEntity, lowSide}, {highEntity, highSide}} {
+		if own := nonKey(attrsOfEntity(needed, pair.e), pair.e); len(own) > 0 {
+			out = append(out, IDQuery(st.Graph, pair.e, own))
+		}
+		if len(pair.side.Edges) > 0 {
+			if q := sideQueryFrom(st.Graph, pair.side, pair.e, needed, label); q != nil {
+				out = append(out, q)
+			}
+		}
+	}
+	return out
+}
+
+// insertSupportQueries builds the side queries for INSERT: the new
+// entity's own attributes come from parameters, and each side of x's
+// path is gathered starting from the connected entity named by the
+// insert's matching connection.
+func insertSupportQueries(x *schema.Index, st *workload.Insert) []*workload.Query {
+	k := x.Path.IndexOf(st.Entity)
+	needed := neededAttrs(x, st.WrittenAttributes())
+	label := workload.Label(st)
+	var out []*workload.Query
+
+	if k > 0 {
+		// The connection crosses x.Path.Edges[k-1].Inverse; the far
+		// entity anchors the remaining low side.
+		far := x.Path.EntityAt(k - 1)
+		side := x.Path.Prefix(k - 1).Reverse()
+		out = appendInsertSide(st.Graph, out, far, side, needed, label)
+	}
+	if k < len(x.Path.Edges) {
+		far := x.Path.EntityAt(k + 1)
+		side := x.Path.SuffixFrom(k + 1)
+		out = appendInsertSide(st.Graph, out, far, side, needed, label)
+	}
+	return out
+}
+
+func appendInsertSide(g *model.Graph, out []*workload.Query, far *model.Entity, side model.Path, needed []*model.Attribute, label string) []*workload.Query {
+	if own := nonKey(attrsOfEntity(needed, far), far); len(own) > 0 {
+		out = append(out, IDQuery(g, far, own))
+	}
+	if len(side.Edges) > 0 {
+		if q := sideQueryFrom(g, side, far, needed, label); q != nil {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// AffectedRecords estimates how many records of x one execution of u
+// rewrites (paper §VI-D: the per-update, per-index maintenance
+// multiplicity C'mn is built from this).
+func AffectedRecords(u workload.WriteStatement, x *schema.Index) float64 {
+	if !Modifies(u, x) {
+		return 0
+	}
+	switch st := u.(type) {
+	case *workload.Update:
+		return affectedInstances(st.Entity(), st.Where) * x.EntityFanout(st.Entity())
+	case *workload.Delete:
+		return affectedInstances(st.Entity(), st.Where) * x.EntityFanout(st.Entity())
+	case *workload.Connect:
+		edgeInstances := float64(st.Edge.From.Count) * st.Edge.AvgDegree()
+		if edgeInstances < 1 {
+			edgeInstances = 1
+		}
+		n := x.Records() / edgeInstances
+		if n < 1 {
+			return 1
+		}
+		return n
+	case *workload.Insert:
+		return x.EntityFanout(st.Entity)
+	default:
+		return 0
+	}
+}
+
+// affectedInstances estimates how many instances of e match the
+// statement predicates.
+func affectedInstances(e *model.Entity, where []workload.Predicate) float64 {
+	n := float64(e.Count)
+	for _, p := range where {
+		if p.Op == workload.Eq {
+			n *= p.Ref.Attr.Selectivity()
+		} else {
+			n *= RangeSelectivity
+		}
+	}
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// RangeSelectivity is the assumed fraction of rows matching an
+// inequality predicate, used wherever no better estimate exists.
+const RangeSelectivity = 0.1
+
+func keyGiven(where []workload.Predicate, e *model.Entity) bool {
+	for _, p := range where {
+		if p.Op == workload.Eq && p.Ref.Attr == e.Key() {
+			return true
+		}
+	}
+	return false
+}
+
+func attrsOfEntity(attrs []*model.Attribute, e *model.Entity) []*model.Attribute {
+	var out []*model.Attribute
+	for _, a := range attrs {
+		if a.Entity == e {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func nonKey(attrs []*model.Attribute, e *model.Entity) []*model.Attribute {
+	var out []*model.Attribute
+	for _, a := range attrs {
+		if a != e.Key() {
+			out = append(out, a)
+		}
+	}
+	return out
+}

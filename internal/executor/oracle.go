@@ -1,0 +1,70 @@
+package executor
+
+import (
+	"nose/internal/backend"
+	"nose/internal/workload"
+)
+
+// Oracle computes a query's reference answer directly from the base
+// dataset, bypassing any schema: it enumerates the connected entity
+// combinations along the query path, filters with the predicates,
+// sorts, projects to distinct rows, and applies the limit. Integration
+// tests compare every schema's execution against this ground truth.
+func Oracle(ds *backend.Dataset, q *workload.Query, params Params) ([]Tuple, error) {
+	var rows []Tuple
+	err := ds.ForEachCombination(q.Path, func(t map[string]backend.Value) error {
+		ok, err := evalPredicates(q.Where, Tuple(t), params)
+		if err != nil {
+			return err
+		}
+		if ok {
+			cp := make(Tuple, len(t))
+			for k, v := range t {
+				cp[k] = v
+			}
+			rows = append(rows, cp)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortTuples(rows, q.Order)
+	rows = projectDistinct(rows, q.Select, q.Order)
+	if q.Limit > 0 && len(rows) > q.Limit {
+		rows = rows[:q.Limit]
+	}
+	return rows, nil
+}
+
+// CanonicalRows encodes result rows for order-insensitive comparison:
+// a sorted slice of canonical row encodings.
+func CanonicalRows(rows []Tuple) []string {
+	out := make([]string, 0, len(rows))
+	for _, t := range rows {
+		out = append(out, canonicalRow(t))
+	}
+	sortStrings(out)
+	return out
+}
+
+func canonicalRow(t Tuple) string {
+	keys := make([]string, 0, len(t))
+	for k := range t {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	s := ""
+	for _, k := range keys {
+		s += k + "=" + backend.EncodeKey([]backend.Value{normalizeForKey(t[k])}) + ";"
+	}
+	return s
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

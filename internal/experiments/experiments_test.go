@@ -1,0 +1,92 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"nose/internal/bip"
+	"nose/internal/experiments"
+	"nose/internal/planner"
+	"nose/internal/rubis"
+	"nose/internal/search"
+)
+
+func fastOptions() search.Options {
+	return search.Options{
+		Planner:            planner.Config{MaxPlansPerQuery: 12},
+		MaxSupportPlans:    4,
+		BIP:                bip.Options{MaxNodes: 30, Gap: 0.05},
+		SkipMinimizeSchema: true,
+	}
+}
+
+func TestRunFig11TinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow")
+	}
+	res, err := experiments.RunFig11(experiments.Fig11Config{
+		RUBiS:      rubis.Config{Users: 200, Seed: 1},
+		Executions: 3,
+		Advisor:    fastOptions(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 14 {
+		t.Fatalf("rows = %d, want 14", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		for _, name := range experiments.SystemNames {
+			if row.Millis[name] < 0 {
+				t.Errorf("%s/%s negative", row.Transaction, name)
+			}
+		}
+	}
+	for _, name := range experiments.SystemNames {
+		if res.WeightedAvg[name] <= 0 {
+			t.Errorf("weighted avg for %s = %v", name, res.WeightedAvg[name])
+		}
+	}
+	out := res.Format()
+	if !strings.Contains(out, "SearchItemsByCategory") || !strings.Contains(out, "WeightedAverage") {
+		t.Errorf("format output incomplete:\n%s", out)
+	}
+	// Shape check: NoSE should not lose the weighted average to the
+	// normalized schema on the bidding mix.
+	if res.WeightedAvg["NoSE"] > res.WeightedAvg["Normalized"] {
+		t.Errorf("NoSE (%.3f) slower than normalized (%.3f) on bidding mix",
+			res.WeightedAvg["NoSE"], res.WeightedAvg["Normalized"])
+	}
+}
+
+func TestRunFig13SmallFactors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow")
+	}
+	res, err := experiments.RunFig13(experiments.Fig13Config{
+		MaxFactor: 2,
+		Seed:      5,
+		Advisor:   fastOptions(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Total <= 0 {
+			t.Errorf("factor %d: zero total", row.Factor)
+		}
+		if row.Candidates <= 0 || row.Constraints <= 0 {
+			t.Errorf("factor %d: missing stats", row.Factor)
+		}
+	}
+	// The workload doubles; the problem must grow.
+	if res.Rows[1].Candidates <= res.Rows[0].Candidates {
+		t.Error("candidates did not grow with the scale factor")
+	}
+	if !strings.Contains(res.Format(), "Factor") {
+		t.Error("format output incomplete")
+	}
+}

@@ -1,0 +1,198 @@
+// Package experiments regenerates the paper's evaluation figures
+// (§VII): per-transaction response times under three schemas
+// (Fig. 11), weighted response times across workload mixes (Fig. 12),
+// and advisor runtime versus workload scale (Fig. 13). Absolute
+// numbers come from the simulated record store, so the reproduction
+// target is the shape of each figure — which schema wins where, and by
+// roughly what factor — not the paper's absolute milliseconds.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nose/internal/backend"
+	"nose/internal/baselines"
+	"nose/internal/cost"
+	"nose/internal/harness"
+	"nose/internal/planner"
+	"nose/internal/rubis"
+	"nose/internal/search"
+)
+
+// SystemNames orders the compared schemas as in paper Fig. 11.
+var SystemNames = []string{"NoSE", "Normalized", "Expert"}
+
+// Fig11Row is one transaction's average response time per system.
+type Fig11Row struct {
+	// Transaction is the RUBiS transaction type.
+	Transaction string
+	// Millis maps system name to average simulated response time.
+	Millis map[string]float64
+}
+
+// Fig11Result is the regenerated Fig. 11 plus the paper's headline
+// ratios from §VII-A.
+type Fig11Result struct {
+	// Rows has one entry per transaction type, in Fig. 11 order.
+	Rows []Fig11Row
+	// WeightedAvg is the mix-weighted average response time per
+	// system.
+	WeightedAvg map[string]float64
+	// MaxSpeedupVsExpert is NoSE's best per-transaction ratio over the
+	// expert schema (the paper reports up to 125x).
+	MaxSpeedupVsExpert float64
+	// WeightedSpeedupVsExpert is the weighted-average ratio (the paper
+	// reports 1.8x).
+	WeightedSpeedupVsExpert float64
+}
+
+// Fig11Config parameterizes the experiment.
+type Fig11Config struct {
+	// RUBiS scales the dataset.
+	RUBiS rubis.Config
+	// Executions is the number of measured executions per transaction
+	// type (the paper used 1000).
+	Executions int
+	// Mix selects the workload mix; empty means bidding.
+	Mix string
+	// Advisor tunes the NoSE run.
+	Advisor search.Options
+}
+
+// buildSystems generates the dataset once and installs the three
+// schemas, returning them in SystemNames order.
+func buildSystems(cfg Fig11Config) (*backend.Dataset, []*rubis.Transaction, []*harness.System, error) {
+	ds, err := rubis.Generate(cfg.RUBiS)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	g := ds.Graph
+	w, txns, err := rubis.Workload(g)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if cfg.Mix != "" {
+		w.ActiveMix = cfg.Mix
+	}
+
+	noseRec, err := search.Advise(w, cfg.Advisor)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("experiments: NoSE advise: %w", err)
+	}
+	normPool, err := baselines.Normalized(w)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	normRec, err := baselines.Recommend(w, normPool, cost.Default(), planner.DefaultConfig())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	expPool, err := baselines.ExpertRUBiS(g)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	expRec, err := baselines.Recommend(w, expPool, cost.Default(), planner.DefaultConfig())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	recs := map[string]*search.Recommendation{
+		"NoSE": noseRec, "Normalized": normRec, "Expert": expRec,
+	}
+	var systems []*harness.System
+	for _, name := range SystemNames {
+		sys, err := harness.NewSystem(name, ds, recs[name], cost.DefaultParams())
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		systems = append(systems, sys)
+	}
+	return ds, txns, systems, nil
+}
+
+// RunFig11 measures per-transaction average response times on the
+// three schemas.
+func RunFig11(cfg Fig11Config) (*Fig11Result, error) {
+	if cfg.Executions <= 0 {
+		cfg.Executions = 50
+	}
+	_, txns, systems, err := buildSystems(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	mix := cfg.Mix
+	if mix == "" {
+		mix = rubis.MixBidding
+	}
+
+	res := &Fig11Result{WeightedAvg: map[string]float64{}}
+	totalsBySystem := map[string]float64{}
+	weightSum := 0.0
+
+	for _, txn := range txns {
+		weight := rubis.TransactionWeight(txn, mix)
+		if weight <= 0 {
+			continue // not part of this mix; no plan exists for it
+		}
+		row := Fig11Row{Transaction: txn.Name, Millis: map[string]float64{}}
+		// Identical parameter sequences per system keep the comparison
+		// fair and the mutations identical.
+		for _, sys := range systems {
+			ps := rubis.NewParamSource(cfg.RUBiS, 4242)
+			total := 0.0
+			for i := 0; i < cfg.Executions; i++ {
+				ms, err := sys.ExecTransaction(txn.Statements, ps.Params(txn.Name))
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s on %s: %w", txn.Name, sys.Name, err)
+				}
+				total += ms
+			}
+			row.Millis[sys.Name] = total / float64(cfg.Executions)
+		}
+		res.Rows = append(res.Rows, row)
+		if weight > 0 {
+			weightSum += weight
+			for name, ms := range row.Millis {
+				totalsBySystem[name] += weight * ms
+			}
+		}
+	}
+	for name, total := range totalsBySystem {
+		res.WeightedAvg[name] = total / weightSum
+	}
+
+	for _, row := range res.Rows {
+		if row.Millis["NoSE"] > 0 {
+			if ratio := row.Millis["Expert"] / row.Millis["NoSE"]; ratio > res.MaxSpeedupVsExpert {
+				res.MaxSpeedupVsExpert = ratio
+			}
+		}
+	}
+	if res.WeightedAvg["NoSE"] > 0 {
+		res.WeightedSpeedupVsExpert = res.WeightedAvg["Expert"] / res.WeightedAvg["NoSE"]
+	}
+	return res, nil
+}
+
+// Format renders the result as the figure's data table.
+func (r *Fig11Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %12s %12s %12s\n", "Transaction", "NoSE(ms)", "Normalized", "Expert")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-24s %12.3f %12.3f %12.3f\n",
+			row.Transaction, row.Millis["NoSE"], row.Millis["Normalized"], row.Millis["Expert"])
+	}
+	names := make([]string, 0, len(r.WeightedAvg))
+	for n := range r.WeightedAvg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&b, "%-24s %12.3f %12.3f %12.3f\n", "WeightedAverage",
+		r.WeightedAvg["NoSE"], r.WeightedAvg["Normalized"], r.WeightedAvg["Expert"])
+	fmt.Fprintf(&b, "max speedup vs expert: %.1fx; weighted speedup vs expert: %.2fx\n",
+		r.MaxSpeedupVsExpert, r.WeightedSpeedupVsExpert)
+	return b.String()
+}

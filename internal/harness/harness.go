@@ -1,0 +1,98 @@
+// Package harness wires a recommendation, a dataset, and the simulated
+// record store into a runnable system, and executes statements and
+// whole transactions against it while accounting simulated response
+// time. The evaluation harnesses for paper Figs. 11 and 12 run one
+// System per schema under comparison.
+package harness
+
+import (
+	"fmt"
+
+	"nose/internal/backend"
+	"nose/internal/cost"
+	"nose/internal/executor"
+	"nose/internal/planner"
+	"nose/internal/search"
+	"nose/internal/workload"
+)
+
+// System is one installed schema with its recommended plans.
+type System struct {
+	// Name labels the system in reports (e.g. "NoSE", "Normalized").
+	Name string
+	// Rec is the recommendation the system implements.
+	Rec *search.Recommendation
+	// Store holds the installed column families.
+	Store *backend.Store
+	// Exec executes plans against Store.
+	Exec *executor.Executor
+
+	queryPlans map[workload.Statement]*planner.Plan
+	writeRecs  map[workload.Statement][]*search.UpdateRecommendation
+}
+
+// NewSystem installs a recommendation's schema into a fresh store,
+// loading every column family from the dataset.
+func NewSystem(name string, ds *backend.Dataset, rec *search.Recommendation, lat cost.Params) (*System, error) {
+	store := backend.NewStore(lat)
+	for _, x := range rec.Schema.Indexes() {
+		if err := ds.Install(store, x); err != nil {
+			return nil, fmt.Errorf("harness: installing %s for %s: %w", x.Name, name, err)
+		}
+	}
+	s := &System{
+		Name:       name,
+		Rec:        rec,
+		Store:      store,
+		Exec:       executor.New(store, lat),
+		queryPlans: map[workload.Statement]*planner.Plan{},
+		writeRecs:  map[workload.Statement][]*search.UpdateRecommendation{},
+	}
+	for _, qr := range rec.Queries {
+		s.queryPlans[qr.Statement.Statement] = qr.Plan
+	}
+	for _, ur := range rec.Updates {
+		st := ur.Statement.Statement
+		s.writeRecs[st] = append(s.writeRecs[st], ur)
+	}
+	return s, nil
+}
+
+// ExecStatement executes one workload statement with the given
+// parameters, returning the simulated response time in milliseconds.
+func (s *System) ExecStatement(st workload.Statement, params executor.Params) (float64, error) {
+	if plan, ok := s.queryPlans[st]; ok {
+		res, err := s.Exec.ExecuteQuery(plan, params)
+		if err != nil {
+			return 0, err
+		}
+		return res.SimMillis, nil
+	}
+	if urs, ok := s.writeRecs[st]; ok {
+		res, err := s.Exec.ExecuteWrite(urs, params)
+		if err != nil {
+			return 0, err
+		}
+		return res.SimMillis, nil
+	}
+	// A write statement that maintains no column family of this schema
+	// costs nothing here.
+	if _, isWrite := st.(workload.WriteStatement); isWrite {
+		return 0, nil
+	}
+	return 0, fmt.Errorf("harness: system %s has no plan for statement %q", s.Name, workload.Label(st))
+}
+
+// ExecTransaction executes a group of statements as one user
+// transaction and returns the total simulated response time.
+func (s *System) ExecTransaction(statements []workload.Statement, params executor.Params) (float64, error) {
+	total := 0.0
+	for _, st := range statements {
+		ms, err := s.ExecStatement(st, params)
+		if err != nil {
+			return 0, err
+		}
+		total += ms
+	}
+	return total, nil
+}

@@ -1,0 +1,75 @@
+// Package hotel provides the hotel booking conceptual model used as the
+// paper's running example (Fig. 1, adapted from Hewitt), plus the
+// example statements of Figs. 3, 8 and 9. It serves as a shared fixture
+// for tests and as the quickstart example's data model.
+package hotel
+
+import "nose/internal/model"
+
+// Graph builds the hotel booking entity graph of paper Fig. 1: hotels
+// with rooms and nearby points of interest, rooms with amenities and
+// reservations, and reservations made by guests.
+func Graph() *model.Graph {
+	g := model.NewGraph()
+
+	h := g.AddEntity("Hotel", "HotelID", 100)
+	h.AddAttribute("HotelName", model.StringType)
+	h.AddAttributeCard("HotelCity", model.StringType, 50)
+	h.AddAttributeCard("HotelState", model.StringType, 20)
+	h.AddAttribute("HotelAddress", model.StringType)
+	h.AddAttribute("HotelPhone", model.StringType)
+
+	r := g.AddEntity("Room", "RoomID", 10_000)
+	r.AddAttributeCard("RoomNumber", model.IntegerType, 100)
+	r.AddAttributeCard("RoomRate", model.FloatType, 200)
+	r.AddAttributeCard("RoomFloor", model.IntegerType, 10)
+
+	res := g.AddEntity("Reservation", "ResID", 250_000)
+	res.AddAttributeCard("ResStartDate", model.DateType, 3650)
+	res.AddAttributeCard("ResEndDate", model.DateType, 3650)
+
+	guest := g.AddEntity("Guest", "GuestID", 50_000)
+	guest.AddAttribute("GuestName", model.StringType)
+	guest.AddAttribute("GuestEmail", model.StringType)
+
+	poi := g.AddEntity("POI", "POIID", 1_000)
+	poi.AddAttribute("POIName", model.StringType)
+	poi.AddAttribute("POIDescription", model.StringType)
+
+	am := g.AddEntity("Amenity", "AmenityID", 50)
+	am.AddAttribute("AmenityName", model.StringType)
+
+	g.MustAddRelationship("Hotel", "Rooms", "Room", "Hotel", model.OneToMany)
+	g.MustAddRelationship("Room", "Reservations", "Reservation", "Room", model.OneToMany)
+	g.MustAddRelationship("Guest", "Reservations", "Reservation", "Guest", model.OneToMany)
+	g.MustAddRelationship("Hotel", "PointsOfInterest", "POI", "Hotels", model.ManyToMany)
+	g.MustAddRelationship("Room", "Amenities", "Amenity", "Rooms", model.ManyToMany)
+
+	return g
+}
+
+// ExampleQuery is the paper's Fig. 3 query: names and email addresses of
+// guests with reservations in a given city above a given room rate.
+const ExampleQuery = `SELECT Guest.GuestName, Guest.GuestEmail FROM Guest ` +
+	`WHERE Guest.Reservations.Room.Hotel.HotelCity = ?city ` +
+	`AND Guest.Reservations.Room.RoomRate > ?rate`
+
+// PrefixQuery is the relaxed prefix query of paper Fig. 6: room ids for
+// rooms in a given city above a given rate.
+const PrefixQuery = `SELECT Room.RoomID FROM Room ` +
+	`WHERE Room.Hotel.HotelCity = ?city AND Room.RoomRate > ?rate`
+
+// POIQuery is the paper's Fig. 9 query: room rates for rooms on a given
+// floor in hotels near a given point of interest.
+const POIQuery = `SELECT Room.RoomRate FROM Room.Hotel.PointsOfInterest ` +
+	`WHERE Room.RoomFloor = ?floor AND PointsOfInterest.POIID = ?id`
+
+// UpdateStatements are the paper's Fig. 8 example update statements,
+// adapted to this model's relationship names.
+var UpdateStatements = []string{
+	`INSERT INTO Reservation SET ResID = ?rid, ResEndDate = ?date AND CONNECT TO Guest(?gid), Room(?roomid)`,
+	`DELETE FROM Guest WHERE Guest.GuestID = ?guestid`,
+	`UPDATE Reservation FROM Reservation.Guest SET ResEndDate = ? WHERE Guest.GuestID = ?guestid`,
+	`CONNECT Guest(?guestid) TO Reservations(?resid)`,
+	`DISCONNECT Guest(?guestid) FROM Reservations(?resid)`,
+}

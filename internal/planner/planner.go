@@ -1,0 +1,144 @@
+package planner
+
+import (
+	"math"
+	"strings"
+
+	"nose/internal/cost"
+	"nose/internal/enumerator"
+	"nose/internal/schema"
+	"nose/internal/workload"
+)
+
+// Config tunes plan-space generation.
+type Config struct {
+	// RangeSelectivity is the assumed fraction of rows matching an
+	// inequality predicate.
+	RangeSelectivity float64
+	// MaxPlansPerQuery bounds each query's plan space; the cheapest
+	// plans are kept. Zero means DefaultMaxPlansPerQuery.
+	MaxPlansPerQuery int
+	// SkipReverse disables reversed-orientation planning (ablation).
+	SkipReverse bool
+	// SkipRelaxation disables predicate relaxation during planning
+	// (ablation): only fully-pushed lookups are considered.
+	SkipRelaxation bool
+}
+
+// DefaultMaxPlansPerQuery bounds plan spaces when Config leaves
+// MaxPlansPerQuery zero.
+const DefaultMaxPlansPerQuery = 64
+
+// DefaultConfig returns the default planner configuration.
+func DefaultConfig() Config {
+	return Config{
+		RangeSelectivity: enumerator.RangeSelectivity,
+		MaxPlansPerQuery: DefaultMaxPlansPerQuery,
+	}
+}
+
+// Planner generates plan spaces for statements over a candidate pool.
+type Planner struct {
+	pool  *enumerator.Pool
+	model cost.Model
+	cfg   Config
+
+	// byPartition indexes the pool by canonical partition key so
+	// lookup-variant generation touches only structurally compatible
+	// candidates. It is rebuilt lazily when the pool grows.
+	byPartition map[string][]*schema.Index
+	indexed     int
+}
+
+// New returns a planner over the given candidate pool and cost model.
+func New(pool *enumerator.Pool, m cost.Model, cfg Config) *Planner {
+	if cfg.RangeSelectivity <= 0 || cfg.RangeSelectivity > 1 {
+		cfg.RangeSelectivity = enumerator.RangeSelectivity
+	}
+	if cfg.MaxPlansPerQuery <= 0 {
+		cfg.MaxPlansPerQuery = DefaultMaxPlansPerQuery
+	}
+	return &Planner{pool: pool, model: m, cfg: cfg}
+}
+
+// candidatesFor returns the pool candidates whose partition key equals
+// the given canonical attribute set.
+func (p *Planner) candidatesFor(partitionKey string) []*schema.Index {
+	if all := p.pool.Indexes(); len(all) != p.indexed {
+		p.byPartition = map[string][]*schema.Index{}
+		for _, x := range all {
+			k := attrKeySet(x.Partition)
+			p.byPartition[k] = append(p.byPartition[k], x)
+		}
+		p.indexed = len(all)
+	}
+	return p.byPartition[partitionKey]
+}
+
+// Pool returns the candidate pool the planner plans over.
+func (p *Planner) Pool() *enumerator.Pool { return p.pool }
+
+// CostModel returns the planner's cost model.
+func (p *Planner) CostModel() cost.Model { return p.model }
+
+// estimate walks a plan's steps, tracking the expected row cardinality
+// and accumulating cost under the planner's model.
+func (p *Planner) estimate(q *workload.Query, steps []Step) *Plan {
+	rows := 0.0
+	total := 0.0
+	for _, st := range steps {
+		switch s := st.(type) {
+		case *LookupStep:
+			sel := 1.0
+			for _, pr := range s.EqPredicates {
+				sel *= pr.Ref.Attr.Selectivity()
+			}
+			rangeFac := 1.0
+			if s.RangePredicate != nil {
+				rangeFac = p.cfg.RangeSelectivity
+			}
+			var requests, fetched float64
+			if s.JoinKey == nil {
+				requests = 1
+				fetched = s.Index.Records() * sel * rangeFac
+			} else {
+				requests = math.Max(rows, 1)
+				fetched = requests * s.Index.EntityFanout(s.JoinKey.Entity) * sel * rangeFac
+			}
+			if fetched < 1 {
+				fetched = 1
+			}
+			if s.Limit > 0 && fetched > float64(s.Limit) {
+				fetched = float64(s.Limit)
+			}
+			total += p.model.Lookup(requests, requests, fetched)
+			rows = fetched
+		case *FilterStep:
+			total += p.model.Filter(rows)
+			for _, pr := range s.Predicates {
+				if pr.Op == workload.Eq {
+					rows *= pr.Ref.Attr.Selectivity()
+				} else {
+					rows *= p.cfg.RangeSelectivity
+				}
+			}
+			if rows < 1 {
+				rows = 1
+			}
+		case *SortStep:
+			total += p.model.Sort(rows)
+		case *LimitStep:
+			if rows > float64(s.N) {
+				rows = float64(s.N)
+			}
+		}
+	}
+	return &Plan{Query: q, Steps: steps, Cost: total, Rows: rows}
+}
+
+// isJoinParam reports whether a predicate parameter is an internal id
+// binding introduced by query decomposition rather than a statement
+// parameter.
+func isJoinParam(param string) bool {
+	return strings.HasPrefix(param, enumerator.SplitParamPrefix)
+}

@@ -1,0 +1,464 @@
+package planner
+
+import (
+	"fmt"
+	"sort"
+
+	"nose/internal/enumerator"
+	"nose/internal/model"
+	"nose/internal/schema"
+	"nose/internal/workload"
+)
+
+// PlanQuery generates the plan space for one query over the planner's
+// candidate pool: every way of decomposing the query path into a chain
+// of lookups, each realized by every usable candidate column family,
+// with client-side filters for relaxed predicates and a client-side
+// sort when no clustering key serves the ordering (paper §IV-C).
+func (p *Planner) PlanQuery(q *workload.Query) (*PlanSpace, error) {
+	if len(q.EqualityPredicates()) == 0 {
+		return nil, fmt.Errorf("planner: query %q has no equality predicate", workload.Label(q))
+	}
+
+	var raw [][]Step
+	orientations := []*workload.Query{q}
+	if !p.cfg.SkipReverse {
+		if rev := enumerator.ReverseQuery(q); rev != q {
+			orientations = append(orientations, rev)
+		}
+	}
+	for _, oq := range orientations {
+		raw = append(raw, p.orientedChains(oq)...)
+	}
+
+	plans := make([]*Plan, 0, len(raw))
+	seen := map[string]bool{}
+	for _, steps := range raw {
+		pl := p.estimate(q, steps)
+		sig := pl.Signature()
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		plans = append(plans, pl)
+	}
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("planner: no plan found for query %q", workload.Label(q))
+	}
+	sort.Slice(plans, func(i, j int) bool {
+		if plans[i].Cost != plans[j].Cost {
+			return plans[i].Cost < plans[j].Cost
+		}
+		return plans[i].Signature() < plans[j].Signature()
+	})
+	if len(plans) > p.cfg.MaxPlansPerQuery {
+		plans = plans[:p.cfg.MaxPlansPerQuery]
+	}
+	return &PlanSpace{Query: q, Plans: plans}, nil
+}
+
+// orientedChains generates the raw step sequences for one orientation
+// of a query.
+func (p *Planner) orientedChains(q *workload.Query) [][]Step {
+	var raw [][]Step
+	if len(q.Order) > 0 {
+		// Plans whose single lookup serves the ordering via clustering.
+		for _, steps := range p.segmentVariants(enumerator.PrefixQuery(q, 0), q.Order) {
+			if q.Limit > 0 {
+				if ls, ok := steps[0].(*LookupStep); ok && len(steps) == 1 {
+					ls.Limit = q.Limit
+				} else {
+					steps = appendSteps(steps, &LimitStep{N: q.Limit})
+				}
+			}
+			raw = append(raw, steps)
+		}
+		// Plans that sort client-side over the order-relaxed query.
+		memo := newChainMemo()
+		for _, chain := range p.chains(enumerator.RelaxOrder(q), memo) {
+			steps := appendSteps(chain, &SortStep{By: q.Order})
+			if q.Limit > 0 {
+				steps = append(steps, &LimitStep{N: q.Limit})
+			}
+			raw = append(raw, steps)
+		}
+	} else {
+		memo := newChainMemo()
+		for _, chain := range p.chains(q, memo) {
+			steps := chain
+			if q.Limit > 0 {
+				steps = appendSteps(chain, &LimitStep{N: q.Limit})
+			}
+			raw = append(raw, steps)
+		}
+	}
+	return raw
+}
+
+// appendSteps copies the step slice before appending so chains shared
+// through memoization are never mutated.
+func appendSteps(steps []Step, more ...Step) []Step {
+	out := make([]Step, 0, len(steps)+len(more))
+	out = append(out, steps...)
+	out = append(out, more...)
+	return out
+}
+
+// chainMemo memoizes chain generation per structural query signature
+// and breaks the cycle introduced by decomposing at the far end of a
+// path (which reproduces the parent query).
+type chainMemo struct {
+	done       map[string][][]Step
+	inProgress map[string]bool
+}
+
+func newChainMemo() *chainMemo {
+	return &chainMemo{done: map[string][][]Step{}, inProgress: map[string]bool{}}
+}
+
+// chains enumerates step chains answering q, ignoring ordering: for
+// each decomposition point, every single-lookup variant of the prefix
+// query concatenated with every chain of the remainder query.
+func (p *Planner) chains(q *workload.Query, memo *chainMemo) [][]Step {
+	sig := enumerator.QuerySignature(q)
+	if res, ok := memo.done[sig]; ok {
+		return res
+	}
+	if memo.inProgress[sig] {
+		return nil
+	}
+	memo.inProgress[sig] = true
+	defer func() { memo.inProgress[sig] = false }()
+
+	var out [][]Step
+	n := q.Path.Len() - 1
+	for s := 0; s <= n; s++ {
+		prefix := enumerator.PrefixQuery(q, s)
+		if len(prefix.EqualityPredicates()) == 0 {
+			continue
+		}
+		firsts := p.segmentVariants(prefix, nil)
+		if s == 0 {
+			out = append(out, firsts...)
+			continue
+		}
+		if len(firsts) == 0 {
+			continue
+		}
+		rems := p.chains(enumerator.RemainderQuery(q, s), memo)
+		for _, f := range firsts {
+			for _, r := range rems {
+				out = append(out, appendSteps(f, r...))
+			}
+		}
+	}
+	out = p.pruneChains(q, out)
+	memo.done[sig] = out
+	return out
+}
+
+// pruneChains bounds the chain set of one (sub)query with a beam:
+// duplicates are removed and only the cheapest chains are kept, at a
+// width comfortably above the final plan-space cap. Without this, the
+// cartesian combination of per-segment variants across decomposition
+// points grows multiplicatively with path length.
+func (p *Planner) pruneChains(q *workload.Query, out [][]Step) [][]Step {
+	limit := 4 * p.cfg.MaxPlansPerQuery
+	if len(out) <= limit {
+		return out
+	}
+	type scored struct {
+		steps []Step
+		cost  float64
+		sig   string
+	}
+	uniq := make([]scored, 0, len(out))
+	seen := map[string]bool{}
+	for _, steps := range out {
+		pl := p.estimate(q, steps)
+		sig := pl.Signature()
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		uniq = append(uniq, scored{steps: steps, cost: pl.Cost, sig: sig})
+	}
+	sort.Slice(uniq, func(i, j int) bool {
+		if uniq[i].cost != uniq[j].cost {
+			return uniq[i].cost < uniq[j].cost
+		}
+		return uniq[i].sig < uniq[j].sig
+	})
+	if len(uniq) > limit {
+		uniq = uniq[:limit]
+	}
+	pruned := make([][]Step, len(uniq))
+	for i, s := range uniq {
+		pruned[i] = s.steps
+	}
+	return pruned
+}
+
+// segmentVariants generates every single-lookup realization of a prefix
+// query: one per (relaxation, usable column family) combination, each a
+// lookup optionally followed by enrichment lookups and a filter.
+func (p *Planner) segmentVariants(pq *workload.Query, order []workload.AttrRef) [][]Step {
+	var out [][]Step
+	relaxable := enumerator.RelaxablePredicates(pq)
+	if p.cfg.SkipRelaxation {
+		relaxable = nil
+	}
+	for mask := 0; mask < 1<<uint(len(relaxable)); mask++ {
+		var removed []workload.Predicate
+		for i, pr := range relaxable {
+			if mask&(1<<uint(i)) != 0 {
+				removed = append(removed, pr)
+			}
+		}
+		rq := pq
+		if len(removed) > 0 {
+			rq = enumerator.RelaxQuery(pq, removed)
+		}
+		if len(rq.EqualityPredicates()) == 0 {
+			continue
+		}
+		out = append(out, p.lookupVariants(rq, removed, order)...)
+	}
+	return out
+}
+
+// lookupVariants generates the step sequences answering rq with one
+// lookup per usable column family: the partition key must equal the
+// equality predicate attributes, selected entity keys must be stored,
+// ordering (when required) must be served by a clustering prefix, and
+// any needed attribute the family lacks is fetched by an id-keyed
+// enrichment lookup. Removed and unpushed range predicates become
+// client-side filters.
+func (p *Planner) lookupVariants(rq *workload.Query, removed []workload.Predicate, order []workload.AttrRef) [][]Step {
+	eq := rq.EqualityPredicates()
+	partitionWant := attrKeySet(predAttrs(eq))
+	rangePreds := rq.RangePredicates()
+
+	var keyOut []*model.Attribute
+	var deferrable []*model.Attribute
+	for _, s := range rq.Select {
+		if s.Attr.IsKey() {
+			keyOut = append(keyOut, s.Attr)
+		} else {
+			deferrable = append(deferrable, s.Attr)
+		}
+	}
+
+	var joinKey *model.Attribute
+	var boundEq []workload.Predicate
+	for _, pr := range eq {
+		if joinKey == nil && isJoinParam(pr.Param) {
+			joinKey = pr.Ref.Attr
+			continue
+		}
+		boundEq = append(boundEq, pr)
+	}
+
+	var out [][]Step
+	for _, cf := range p.candidatesFor(partitionWant) {
+		if !pathCoversSegment(cf.Path, rq.Path) {
+			continue
+		}
+		if !cf.ContainsAll(keyOut) {
+			continue
+		}
+		servesOrder := false
+		if len(order) > 0 {
+			if !clusteringPrefixMatches(cf, order) {
+				continue
+			}
+			servesOrder = true
+		}
+
+		// Push at most one range predicate: its attribute must be the
+		// first clustering column so the get's clustering range stays
+		// contiguous. When ordering is served this still holds only if
+		// the ordering attribute is the range attribute itself.
+		var pushed *workload.Predicate
+		var pending []workload.Predicate
+		for i := range rangePreds {
+			rp := rangePreds[i]
+			if pushed == nil && len(cf.Clustering) > 0 && cf.Clustering[0] == rp.Ref.Attr {
+				cp := rp
+				pushed = &cp
+				continue
+			}
+			pending = append(pending, rp)
+		}
+
+		// Attributes that must be available beyond the keys: non-key
+		// outputs, relaxed predicate attributes, and unpushed range
+		// attributes.
+		needed := map[*model.Attribute]bool{}
+		var neededOrder []*model.Attribute
+		addNeeded := func(a *model.Attribute) {
+			if !needed[a] {
+				needed[a] = true
+				neededOrder = append(neededOrder, a)
+			}
+		}
+		for _, a := range deferrable {
+			addNeeded(a)
+		}
+		for _, pr := range removed {
+			addNeeded(pr.Ref.Attr)
+		}
+		for _, pr := range pending {
+			addNeeded(pr.Ref.Attr)
+		}
+
+		var missing []*model.Attribute
+		ok := true
+		for _, a := range neededOrder {
+			if cf.Contains(a) {
+				continue
+			}
+			// An id-keyed enrichment lookup can only run if the main
+			// family exposes that entity's id to drive it.
+			if !cf.Contains(a.Entity.Key()) {
+				ok = false
+				break
+			}
+			missing = append(missing, a)
+		}
+		if !ok {
+			continue
+		}
+		enrich, ok := p.enrichSteps(missing)
+		if !ok {
+			continue
+		}
+
+		steps := []Step{&LookupStep{
+			Index:          cf,
+			EqPredicates:   boundEq,
+			JoinKey:        joinKey,
+			RangePredicate: pushed,
+			ServesOrder:    servesOrder,
+		}}
+		steps = append(steps, enrich...)
+		filters := append(append([]workload.Predicate{}, removed...), pending...)
+		if len(filters) > 0 {
+			steps = append(steps, &FilterStep{Predicates: filters})
+		}
+		out = append(out, steps)
+	}
+	return out
+}
+
+// enrichSteps builds id-keyed lookups supplying the missing attributes,
+// one per entity, choosing for each entity the pool family with the
+// least read amplification. It reports failure when some attribute has
+// no id-keyed family in the pool.
+func (p *Planner) enrichSteps(missing []*model.Attribute) ([]Step, bool) {
+	if len(missing) == 0 {
+		return nil, true
+	}
+	perEntity := map[*model.Entity][]*model.Attribute{}
+	var entities []*model.Entity
+	for _, a := range missing {
+		if perEntity[a.Entity] == nil {
+			entities = append(entities, a.Entity)
+		}
+		perEntity[a.Entity] = append(perEntity[a.Entity], a)
+	}
+	var steps []Step
+	for _, e := range entities {
+		want := attrKeySet([]*model.Attribute{e.Key()})
+		var best *schema.Index
+		for _, cf := range p.candidatesFor(want) {
+			if !cf.ContainsAll(perEntity[e]) {
+				continue
+			}
+			if best == nil || enrichBetter(cf, best, e) {
+				best = cf
+			}
+		}
+		if best == nil {
+			return nil, false
+		}
+		steps = append(steps, &LookupStep{Index: best, JoinKey: e.Key()})
+	}
+	return steps, true
+}
+
+// enrichBetter orders enrichment candidates: least read amplification
+// for the driving entity, then smallest rows, then canonical id.
+func enrichBetter(a, b *schema.Index, e *model.Entity) bool {
+	fa, fb := a.EntityFanout(e), b.EntityFanout(e)
+	if fa != fb {
+		return fa < fb
+	}
+	if ra, rb := a.RowSize(), b.RowSize(); ra != rb {
+		return ra < rb
+	}
+	return a.ID() < b.ID()
+}
+
+// clusteringPrefixMatches reports whether the family's clustering key
+// starts with exactly the given ordering attributes.
+func clusteringPrefixMatches(cf *schema.Index, order []workload.AttrRef) bool {
+	if len(cf.Clustering) < len(order) {
+		return false
+	}
+	for i, o := range order {
+		if cf.Clustering[i] != o.Attr {
+			return false
+		}
+	}
+	return true
+}
+
+// pathCoversSegment reports whether a column family anchored to
+// cfPath can answer a lookup over segment: every segment entity must
+// lie on the family's path and every segment relationship edge must be
+// traversed by it (in either direction). Without this check a family
+// keyed by the same partition attributes but materializing a different
+// relationship would silently answer with wrong combinations.
+func pathCoversSegment(cfPath, segment model.Path) bool {
+	for _, e := range segment.Entities() {
+		if !cfPath.Contains(e) {
+			return false
+		}
+	}
+	for _, se := range segment.Edges {
+		found := false
+		for _, ce := range cfPath.Edges {
+			if ce == se || ce == se.Inverse {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func predAttrs(preds []workload.Predicate) []*model.Attribute {
+	out := make([]*model.Attribute, 0, len(preds))
+	for _, p := range preds {
+		out = append(out, p.Ref.Attr)
+	}
+	return out
+}
+
+// attrKeySet canonicalizes an attribute set as a sorted joined string.
+func attrKeySet(attrs []*model.Attribute) string {
+	names := make([]string, 0, len(attrs))
+	for _, a := range attrs {
+		names = append(names, a.QualifiedName())
+	}
+	sort.Strings(names)
+	key := ""
+	for _, n := range names {
+		key += n + "|"
+	}
+	return key
+}

@@ -1,0 +1,52 @@
+package planner
+
+import (
+	"nose/internal/enumerator"
+	"nose/internal/schema"
+	"nose/internal/workload"
+)
+
+// PlanUpdate builds the update plan for maintaining one column family
+// under one write statement (paper §VI-B): plan spaces for each support
+// query, plus the estimated delete and put work. The support plans'
+// costs are priced by the optimizer through their plan variables; the
+// WriteCost field carries only the write-side cost.
+func (p *Planner) PlanUpdate(u workload.WriteStatement, x *schema.Index, supportQueries []*workload.Query) (*UpdatePlan, error) {
+	affected := enumerator.AffectedRecords(u, x)
+	up := &UpdatePlan{Statement: u, Index: x}
+
+	var doDelete, doInsert bool
+	switch st := u.(type) {
+	case *workload.Update:
+		// Updates delete the stale record and insert the new one
+		// (paper §VI-B).
+		doDelete, doInsert = true, true
+	case *workload.Delete:
+		doDelete = true
+	case *workload.Insert:
+		doInsert = true
+	case *workload.Connect:
+		if st.Disconnect {
+			doDelete = true
+		} else {
+			doInsert = true
+		}
+	}
+	if doDelete {
+		up.DeleteRequests = affected
+	}
+	if doInsert {
+		up.InsertRequests = affected
+		up.InsertCells = affected * float64(len(x.AllAttributes()))
+	}
+	up.WriteCost = p.model.Delete(up.DeleteRequests) + p.model.Insert(up.InsertRequests, up.InsertCells)
+
+	for _, sq := range supportQueries {
+		ps, err := p.PlanQuery(sq)
+		if err != nil {
+			return nil, err
+		}
+		up.SupportSpaces = append(up.SupportSpaces, ps)
+	}
+	return up, nil
+}

@@ -1,0 +1,210 @@
+package rubis
+
+import (
+	"fmt"
+
+	"nose/internal/model"
+	"nose/internal/workload"
+)
+
+// Transaction is one RUBiS user interaction: the statements an
+// application server executes for one request (paper §VII-A evaluates
+// "user transactions, which are groups of statements").
+type Transaction struct {
+	// Name is the transaction type of paper Fig. 11.
+	Name string
+	// Statements execute once per transaction, in order.
+	Statements []workload.Statement
+	// HasWrites reports whether any statement modifies data; the
+	// write-scaled mixes of Fig. 12 multiply these transactions'
+	// weights.
+	HasWrites bool
+}
+
+// TransactionNames lists the fourteen transaction types in the order
+// of paper Fig. 11.
+var TransactionNames = []string{
+	"BrowseCategories", "ViewBidHistory", "ViewItem", "SearchItemsByCategory",
+	"ViewUserInfo", "BuyNow", "StoreBuyNow", "PutBid", "StoreBid",
+	"PutComment", "StoreComment", "AboutMe", "RegisterItem", "RegisterUser",
+}
+
+// statementSources maps each transaction to its statement texts.
+var statementSources = map[string][]string{
+	"BrowseCategories": {
+		`SELECT Category.CategoryID, Category.CategoryName FROM Category WHERE Category.Dummy = ?dummy`,
+	},
+	"ViewBidHistory": {
+		`SELECT Item.ItemName FROM Item WHERE Item.ItemID = ?item`,
+		`SELECT User.UserNickname, Bids.BidAmount, Bids.BidDate FROM User.Bids.Item WHERE Item.ItemID = ?item`,
+	},
+	"ViewItem": {
+		`SELECT Item.ItemName, Item.ItemDescription, Item.ItemInitialPrice, Item.ItemQuantity, Item.ItemNbOfBids, Item.ItemMaxBid, Item.ItemEndDate FROM Item WHERE Item.ItemID = ?item`,
+	},
+	"SearchItemsByCategory": {
+		`SELECT Item.ItemID, Item.ItemName, Item.ItemInitialPrice, Item.ItemMaxBid, Item.ItemNbOfBids, Item.ItemEndDate FROM Item WHERE Item.Category.CategoryID = ?category AND Item.ItemEndDate >= ?now LIMIT 25`,
+	},
+	"ViewUserInfo": {
+		`SELECT User.UserNickname, User.UserRating, User.UserCreated FROM User WHERE User.UserID = ?user`,
+		`SELECT CommentsReceived.CommentText, CommentsReceived.CommentRating, CommentsReceived.CommentDate FROM User.CommentsReceived WHERE User.UserID = ?user`,
+	},
+	"BuyNow": {
+		`SELECT Item.ItemName, Item.ItemBuyNowPrice, Item.ItemQuantity FROM Item WHERE Item.ItemID = ?item`,
+	},
+	"StoreBuyNow": {
+		`INSERT INTO BuyNow SET BuyNowID = ?bnid, BuyNowQty = ?qty, BuyNowDate = ?now AND CONNECT TO Buyer(?user), Item(?item)`,
+		`UPDATE Item SET ItemQuantity = ?newqty WHERE Item.ItemID = ?item`,
+	},
+	"PutBid": {
+		`SELECT Item.ItemName, Item.ItemMaxBid, Item.ItemNbOfBids, Item.ItemInitialPrice FROM Item WHERE Item.ItemID = ?item`,
+		`SELECT User.UserNickname, Bids.BidAmount FROM User.Bids.Item WHERE Item.ItemID = ?item`,
+	},
+	"StoreBid": {
+		`INSERT INTO Bid SET BidID = ?bid, BidQty = ?qty, BidAmount = ?amount, BidDate = ?now AND CONNECT TO Bidder(?user), Item(?item)`,
+		`UPDATE Item SET ItemMaxBid = ?amount, ItemNbOfBids = ?nb WHERE Item.ItemID = ?item`,
+	},
+	"PutComment": {
+		`SELECT Item.ItemName FROM Item WHERE Item.ItemID = ?item`,
+		`SELECT User.UserNickname FROM User WHERE User.UserID = ?touser`,
+	},
+	"StoreComment": {
+		`INSERT INTO Comment SET CommentID = ?cid, CommentRating = ?rating, CommentDate = ?now, CommentText = ?text AND CONNECT TO FromUser(?user), ToUser(?touser), Item(?item)`,
+		`UPDATE User SET UserRating = ?newrating WHERE User.UserID = ?touser`,
+	},
+	"AboutMe": {
+		`SELECT User.UserNickname, User.UserEmail, User.UserBalance FROM User WHERE User.UserID = ?user`,
+		`SELECT ItemsSold.ItemName, ItemsSold.ItemEndDate FROM User.ItemsSold WHERE User.UserID = ?user`,
+		`SELECT Bids.BidAmount, Item.ItemName, Item.ItemEndDate FROM User.Bids.Item WHERE User.UserID = ?user`,
+		`SELECT BuyNows.BuyNowDate, Item.ItemName FROM User.BuyNows.Item WHERE User.UserID = ?user`,
+		`SELECT CommentsReceived.CommentText, CommentsReceived.CommentRating FROM User.CommentsReceived WHERE User.UserID = ?user`,
+		`SELECT OldItemsBought.OldItemName FROM User.OldItemsBought WHERE User.UserID = ?user`,
+	},
+	"RegisterItem": {
+		`INSERT INTO Item SET ItemID = ?item, ItemName = ?name, ItemDescription = ?desc, ItemInitialPrice = ?price, ItemQuantity = ?qty, ItemReservePrice = ?rprice, ItemBuyNowPrice = ?bnprice, ItemNbOfBids = ?nb, ItemMaxBid = ?maxbid, ItemStartDate = ?now, ItemEndDate = ?end AND CONNECT TO Seller(?user), Category(?category)`,
+	},
+	"RegisterUser": {
+		`INSERT INTO User SET UserID = ?user, UserNickname = ?nick, UserEmail = ?email, UserRating = ?rating, UserBalance = ?balance, UserCreated = ?now AND CONNECT TO Region(?region)`,
+	},
+}
+
+// Transactions parses the fourteen transactions against a RUBiS graph.
+func Transactions(g *model.Graph) ([]*Transaction, error) {
+	var out []*Transaction
+	for _, name := range TransactionNames {
+		txn := &Transaction{Name: name}
+		for i, src := range statementSources[name] {
+			st, err := workload.Parse(g, src)
+			if err != nil {
+				return nil, fmt.Errorf("rubis: transaction %s statement %d: %w", name, i, err)
+			}
+			switch typed := st.(type) {
+			case *workload.Query:
+				typed.Label = fmt.Sprintf("%s/%d", name, i)
+			case *workload.Insert:
+				typed.Label = fmt.Sprintf("%s/%d", name, i)
+				txn.HasWrites = true
+			case *workload.Update:
+				typed.Label = fmt.Sprintf("%s/%d", name, i)
+				txn.HasWrites = true
+			case *workload.Delete:
+				typed.Label = fmt.Sprintf("%s/%d", name, i)
+				txn.HasWrites = true
+			case *workload.Connect:
+				typed.Label = fmt.Sprintf("%s/%d", name, i)
+				txn.HasWrites = true
+			}
+			txn.Statements = append(txn.Statements, st)
+		}
+		out = append(out, txn)
+	}
+	return out, nil
+}
+
+// Mix names accepted by Workload.
+const (
+	// MixBidding is RUBiS' default 15%-write mix.
+	MixBidding = "bidding"
+	// MixBrowsing is the read-only mix.
+	MixBrowsing = "browsing"
+	// MixWrite10 scales every write transaction's weight by 10.
+	MixWrite10 = "write10"
+	// MixWrite100 scales every write transaction's weight by 100.
+	MixWrite100 = "write100"
+)
+
+// Mixes lists the four workload mixes of paper Fig. 12.
+var Mixes = []string{MixBrowsing, MixBidding, MixWrite10, MixWrite100}
+
+// biddingWeights approximates the RUBiS bidding-mix request
+// distribution over the fourteen transaction types (percent).
+var biddingWeights = map[string]float64{
+	"BrowseCategories":      8.86,
+	"ViewBidHistory":        2.75,
+	"ViewItem":              22.06,
+	"SearchItemsByCategory": 27.87,
+	"ViewUserInfo":          4.04,
+	"BuyNow":                1.43,
+	"StoreBuyNow":           0.43,
+	"PutBid":                5.46,
+	"StoreBid":              3.74,
+	"PutComment":            0.46,
+	"StoreComment":          0.31,
+	"AboutMe":               1.71,
+	"RegisterItem":          0.37,
+	"RegisterUser":          1.07,
+}
+
+// browsingWeights is the read-only browsing mix.
+var browsingWeights = map[string]float64{
+	"BrowseCategories":      10,
+	"ViewBidHistory":        5,
+	"ViewItem":              33,
+	"SearchItemsByCategory": 45,
+	"ViewUserInfo":          7,
+	"AboutMe":               0,
+}
+
+// TransactionWeight returns a transaction's weight under a mix.
+func TransactionWeight(txn *Transaction, mix string) float64 {
+	switch mix {
+	case MixBrowsing:
+		if txn.HasWrites {
+			return 0
+		}
+		return browsingWeights[txn.Name]
+	case MixWrite10, MixWrite100:
+		w := biddingWeights[txn.Name]
+		if txn.HasWrites {
+			if mix == MixWrite10 {
+				return w * 10
+			}
+			return w * 100
+		}
+		return w
+	default:
+		return biddingWeights[txn.Name]
+	}
+}
+
+// Workload builds the full RUBiS workload over the graph, with per-mix
+// weights attached to every statement. Set ActiveMix to one of Mixes
+// before advising.
+func Workload(g *model.Graph) (*workload.Workload, []*Transaction, error) {
+	txns, err := Transactions(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := workload.New(g)
+	for _, txn := range txns {
+		for _, st := range txn.Statements {
+			weights := map[string]float64{}
+			for _, mix := range Mixes {
+				weights[mix] = TransactionWeight(txn, mix)
+			}
+			ws := w.AddMixed(st, weights)
+			ws.Weight = weights[MixBidding]
+		}
+	}
+	w.ActiveMix = MixBidding
+	return w, txns, nil
+}

@@ -1,0 +1,75 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Schema is a set of column family definitions — the advisor's primary
+// output (paper §III-D).
+type Schema struct {
+	indexes []*Index
+	byID    map[string]*Index
+	byName  map[string]*Index
+	counter int
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{byID: map[string]*Index{}, byName: map[string]*Index{}}
+}
+
+// Add inserts an index into the schema, assigning it a name of the form
+// "cfN" if it has none. Structurally identical indexes are deduplicated;
+// Add returns the canonical instance.
+func (s *Schema) Add(x *Index) *Index {
+	if existing, ok := s.byID[x.ID()]; ok {
+		return existing
+	}
+	if x.Name == "" {
+		x.Name = fmt.Sprintf("cf%d", s.counter)
+	}
+	s.counter++
+	if _, taken := s.byName[x.Name]; taken {
+		x.Name = fmt.Sprintf("%s_%d", x.Name, s.counter)
+	}
+	s.indexes = append(s.indexes, x)
+	s.byID[x.ID()] = x
+	s.byName[x.Name] = x
+	return s.byID[x.ID()]
+}
+
+// Indexes returns the schema's column families in insertion order.
+func (s *Schema) Indexes() []*Index { return s.indexes }
+
+// Len returns the number of column families.
+func (s *Schema) Len() int { return len(s.indexes) }
+
+// ByName returns the named column family, or nil.
+func (s *Schema) ByName(name string) *Index { return s.byName[name] }
+
+// Lookup returns the schema's instance of a structurally identical
+// index, or nil.
+func (s *Schema) Lookup(x *Index) *Index { return s.byID[x.ID()] }
+
+// TotalSizeBytes estimates the aggregate storage footprint.
+func (s *Schema) TotalSizeBytes() float64 {
+	total := 0.0
+	for _, x := range s.indexes {
+		total += x.SizeBytes()
+	}
+	return total
+}
+
+// String renders one column family per line, sorted by name, in the
+// triple notation.
+func (s *Schema) String() string {
+	sorted := append([]*Index(nil), s.indexes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	var b strings.Builder
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "%s: %s (path %s)\n", x.Name, x, x.Path)
+	}
+	return b.String()
+}

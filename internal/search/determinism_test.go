@@ -1,0 +1,63 @@
+package search_test
+
+import (
+	"testing"
+
+	"nose/internal/hotel"
+	"nose/internal/search"
+	"nose/internal/workload"
+)
+
+// TestAdviseDeterministic: two runs on the same workload must produce
+// identical schemas and plans — candidate IDs, plan ordering, and BIP
+// construction are all canonicalized.
+func TestAdviseDeterministic(t *testing.T) {
+	run := func() *search.Recommendation {
+		g := hotel.Graph()
+		w := workload.New(g)
+		for i, src := range []string{hotel.ExampleQuery, hotel.PrefixQuery, hotel.POIQuery} {
+			q := workload.MustParseQuery(g, src)
+			q.Label = string(rune('A' + i))
+			w.Add(q, float64(i+1))
+		}
+		w.Add(workload.MustParse(g, hotel.UpdateStatements[0]), 0.5)
+		w.Add(workload.MustParse(g, hotel.UpdateStatements[2]), 0.25)
+		rec, err := search.Advise(w, search.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+	a, b := run(), run()
+	if a.Schema.String() != b.Schema.String() {
+		t.Errorf("schemas differ:\n%s\nvs\n%s", a.Schema, b.Schema)
+	}
+	if a.Cost != b.Cost {
+		t.Errorf("costs differ: %v vs %v", a.Cost, b.Cost)
+	}
+	if len(a.Queries) != len(b.Queries) {
+		t.Fatal("query counts differ")
+	}
+	for i := range a.Queries {
+		if a.Queries[i].Plan.Signature() != b.Queries[i].Plan.Signature() {
+			t.Errorf("plan %d differs", i)
+		}
+	}
+}
+
+// TestAdviseCostMatchesChosenPlans: the reported optimal cost must
+// equal the weighted sum of the chosen plans' costs plus maintenance.
+func TestAdviseCostMatchesChosenPlans(t *testing.T) {
+	g := hotel.Graph()
+	w := workload.New(g)
+	q := workload.MustParseQuery(g, hotel.ExampleQuery)
+	w.Add(q, 2.5)
+	rec, err := search.Advise(w, search.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.5 * rec.Queries[0].Plan.Cost
+	if diff := rec.Cost - want; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("cost %v, plans sum to %v", rec.Cost, want)
+	}
+}

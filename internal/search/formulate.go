@@ -1,0 +1,450 @@
+package search
+
+import (
+	"math"
+	"sort"
+
+	"nose/internal/bip"
+	"nose/internal/enumerator"
+	"nose/internal/lp"
+	"nose/internal/planner"
+	"nose/internal/schema"
+	"nose/internal/workload"
+)
+
+// queryBlock is one workload query with its plan space.
+type queryBlock struct {
+	ws    *workload.WeightedStatement
+	space *planner.PlanSpace
+}
+
+// supportGroup is one distinct support query of an update, shared by
+// every modified column family that needs it: the query executes once
+// per update execution, so its plan variables are gated on a single
+// indicator that any of those families is selected.
+type supportGroup struct {
+	space   *planner.PlanSpace
+	indexes []*schema.Index // modified families requiring this query
+}
+
+// updateBlock is one write statement with its per-family maintenance
+// plans and shared support groups.
+type updateBlock struct {
+	ws     *workload.WeightedStatement
+	u      workload.WriteStatement
+	plans  map[string]*planner.UpdatePlan // by index ID
+	order  []*schema.Index                // modified families, pool order
+	groups []*supportGroup
+}
+
+// builder holds everything needed to formulate the BIP (possibly
+// twice: once per solver phase).
+type builder struct {
+	w       *workload.Workload
+	pl      *planner.Planner
+	pool    []*schema.Index
+	queries []*queryBlock
+	updates []*updateBlock
+	opt     Options
+
+	// maint is each index's weighted maintenance cost. Indexes with
+	// zero maintenance and no storage constraint are "free": including
+	// them can never hurt the objective, so the formulation fixes
+	// their presence and omits their variables and linking rows. This
+	// elision is exact and shrinks the program dramatically for
+	// read-mostly workloads.
+	maint map[string]float64
+}
+
+// colRefs maps BIP columns back to schema objects and plans.
+type colRefs struct {
+	indexCol map[string]int // paid index ID -> column
+	// planCols records (owner, plan) per plan-choice column.
+	planCols map[int]planRef
+	// planCol is the reverse lookup: plan pointer -> column.
+	planCol map[*planner.Plan]int
+	// zCol is each support group's indicator column.
+	zCol map[*supportGroup]int
+}
+
+type planRef struct {
+	query *queryBlock   // non-nil for workload query plans
+	group *supportGroup // non-nil for support query plans
+	ub    *updateBlock  // owner of group
+	plan  *planner.Plan
+}
+
+// newBuilder plans every query and update in the workload.
+func newBuilder(w *workload.Workload, pl *planner.Planner, enumRes *enumerator.Result, opt Options) (*builder, error) {
+	b := &builder{w: w, pl: pl, pool: pl.Pool().Indexes(), opt: opt, maint: map[string]float64{}}
+
+	for _, ws := range w.Queries() {
+		q := ws.Statement.(*workload.Query)
+		space, err := pl.PlanQuery(q)
+		if err != nil {
+			return nil, err
+		}
+		b.queries = append(b.queries, &queryBlock{ws: ws, space: space})
+	}
+
+	for _, ws := range w.Updates() {
+		u := ws.Statement.(workload.WriteStatement)
+		ub := &updateBlock{ws: ws, u: u, plans: map[string]*planner.UpdatePlan{}}
+		// Support queries of one update that share a path and
+		// predicates differ only in which attributes they select (each
+		// maintained family needs a different subset). The store
+		// charges reads per row, not per cell, so the union query
+		// costs the same and is planned once for the whole group.
+		type pendingGroup struct {
+			merged    *workload.Query
+			originals []*workload.Query
+			indexes   []*schema.Index
+		}
+		groupByShape := map[string]*pendingGroup{}
+		var groupOrder []string
+		for _, x := range b.pool {
+			sqs, modified := enumRes.Support[u][x.ID()]
+			if !modified {
+				if !enumerator.Modifies(u, x) {
+					continue
+				}
+				sqs = enumerator.SupportQueries(u, x)
+			}
+			up, err := pl.PlanUpdate(u, x, nil)
+			if err != nil {
+				return nil, err
+			}
+			ub.plans[x.ID()] = up
+			ub.order = append(ub.order, x)
+			b.maint[x.ID()] += b.w.Weight(ws) * up.WriteCost
+			for _, sq := range sqs {
+				shape := shapeSignature(sq)
+				g := groupByShape[shape]
+				if g == nil {
+					g = &pendingGroup{merged: cloneQuery(sq)}
+					groupByShape[shape] = g
+					groupOrder = append(groupOrder, shape)
+				} else {
+					mergeSelects(g.merged, sq)
+				}
+				g.originals = append(g.originals, sq)
+				g.indexes = append(g.indexes, x)
+			}
+		}
+		for _, shape := range groupOrder {
+			pg := groupByShape[shape]
+			groups, err := b.planSupportGroup(pg.merged, pg.originals, pg.indexes)
+			if err != nil {
+				return nil, err
+			}
+			ub.groups = append(ub.groups, groups...)
+		}
+		if len(ub.order) > 0 {
+			b.updates = append(b.updates, ub)
+		}
+	}
+	b.pruneUnselectable()
+	return b, nil
+}
+
+// pruneUnselectable removes candidates no plan in any plan space ever
+// reads: they can never be selected (presence only costs), so they need
+// no variables, no maintenance bookkeeping, and no support-group rows.
+// This typically eliminates the large majority of the enumerated pool
+// from the integer program.
+func (b *builder) pruneUnselectable() {
+	used := map[string]bool{}
+	mark := func(space *planner.PlanSpace) {
+		for _, pl := range space.Plans {
+			for _, x := range pl.Indexes() {
+				used[x.ID()] = true
+			}
+		}
+	}
+	for _, qb := range b.queries {
+		mark(qb.space)
+	}
+	for _, ub := range b.updates {
+		for _, g := range ub.groups {
+			mark(g.space)
+		}
+	}
+	for _, ub := range b.updates {
+		var order []*schema.Index
+		for _, x := range ub.order {
+			if used[x.ID()] {
+				order = append(order, x)
+			} else {
+				delete(ub.plans, x.ID())
+			}
+		}
+		ub.order = order
+		var groups []*supportGroup
+		for _, g := range ub.groups {
+			var kept []*schema.Index
+			for _, x := range g.indexes {
+				if used[x.ID()] {
+					kept = append(kept, x)
+				}
+			}
+			if len(kept) > 0 {
+				g.indexes = kept
+				groups = append(groups, g)
+			}
+		}
+		ub.groups = groups
+	}
+	for id := range b.maint {
+		if !used[id] {
+			delete(b.maint, id)
+		}
+	}
+	var pool []*schema.Index
+	for _, x := range b.pool {
+		if used[x.ID()] {
+			pool = append(pool, x)
+		}
+	}
+	b.pool = pool
+}
+
+// planSupportGroup plans the merged support query; if the pool cannot
+// answer the union (its attribute set may exceed any one family's), it
+// falls back to planning each original query as its own group.
+func (b *builder) planSupportGroup(merged *workload.Query, originals []*workload.Query, indexes []*schema.Index) ([]*supportGroup, error) {
+	if space, err := b.pl.PlanQuery(merged); err == nil {
+		b.capSupport(space)
+		return []*supportGroup{{space: space, indexes: indexes}}, nil
+	}
+	var out []*supportGroup
+	bySig := map[string]*supportGroup{}
+	for i, sq := range originals {
+		sig := enumerator.QuerySignature(sq)
+		g := bySig[sig]
+		if g == nil {
+			space, err := b.pl.PlanQuery(sq)
+			if err != nil {
+				return nil, err
+			}
+			b.capSupport(space)
+			g = &supportGroup{space: space}
+			bySig[sig] = g
+			out = append(out, g)
+		}
+		g.indexes = append(g.indexes, indexes[i])
+	}
+	return out, nil
+}
+
+func (b *builder) capSupport(space *planner.PlanSpace) {
+	if len(space.Plans) > b.opt.MaxSupportPlans {
+		space.Plans = space.Plans[:b.opt.MaxSupportPlans]
+	}
+}
+
+// shapeSignature canonicalizes a query ignoring its SELECT list.
+func shapeSignature(q *workload.Query) string {
+	sig := q.Path.String() + "/"
+	for _, p := range q.Where {
+		sig += p.Ref.Attr.QualifiedName() + p.Op.String() + ";"
+	}
+	for _, o := range q.Order {
+		sig += "|" + o.Attr.QualifiedName()
+	}
+	return sig
+}
+
+func cloneQuery(q *workload.Query) *workload.Query {
+	cp := *q
+	cp.Select = append([]workload.AttrRef(nil), q.Select...)
+	return &cp
+}
+
+// mergeSelects unions src's selected attributes into dst.
+func mergeSelects(dst, src *workload.Query) {
+	have := map[workload.AttrRef]bool{}
+	for _, s := range dst.Select {
+		have[s] = true
+	}
+	for _, s := range src.Select {
+		if !have[s] {
+			have[s] = true
+			dst.Select = append(dst.Select, s)
+		}
+	}
+}
+
+// paid reports whether an index needs a presence variable: it carries
+// maintenance cost, or a storage budget prices every index.
+func (b *builder) paid(id string) bool {
+	return b.maint[id] > 0 || b.opt.SpaceBudgetBytes > 0
+}
+
+// formulate builds the BIP. With pinCost nil it minimizes weighted
+// workload cost; with pinCost set it constrains the cost to that value
+// and minimizes the number of paid column families (paper §V's second
+// phase; free families enter the schema only when a chosen plan uses
+// them, so they need no minimization).
+func (b *builder) formulate(pinCost *float64) (*bip.Program, *colRefs) {
+	prog := bip.New()
+	refs := &colRefs{
+		indexCol: map[string]int{},
+		planCols: map[int]planRef{},
+		planCol:  map[*planner.Plan]int{},
+		zCol:     map[*supportGroup]int{},
+	}
+
+	costRow := -1
+	if pinCost != nil {
+		slack := math.Max(1e-6, 1e-9*math.Abs(*pinCost))
+		costRow = prog.AddRow(math.Inf(-1), *pinCost+slack)
+	}
+	objEntry := func(entries []lp.Entry, c float64) ([]lp.Entry, float64) {
+		// In phase 2, objective coefficients move onto the pinned cost
+		// row and the true objective becomes the column family count.
+		if costRow >= 0 && c != 0 {
+			entries = append(entries, lp.Entry{Row: costRow, Coef: c})
+			return entries, 0
+		}
+		return entries, c
+	}
+
+	// Presence variables for paid indexes.
+	storageRow := -1
+	if b.opt.SpaceBudgetBytes > 0 {
+		storageRow = prog.AddRow(math.Inf(-1), b.opt.SpaceBudgetBytes/1e6)
+	}
+	for _, x := range b.pool {
+		if !b.paid(x.ID()) {
+			continue
+		}
+		var entries []lp.Entry
+		if storageRow >= 0 {
+			entries = append(entries, lp.Entry{Row: storageRow, Coef: x.SizeBytes() / 1e6})
+		}
+		entries, obj := objEntry(entries, b.maint[x.ID()])
+		if costRow >= 0 {
+			obj = 1 // phase 2 minimizes the number of paid families
+		}
+		refs.indexCol[x.ID()] = prog.AddBinary(obj, entries...)
+	}
+
+	// Query plan choice variables with linking constraints to paid
+	// indexes, aggregated per (query, index).
+	addPlanVars := func(space *planner.PlanSpace, chooseRow int, weight float64, mk func(*planner.Plan) planRef) {
+		linkRow := map[string]int{}
+		var linkOrder []string
+		for _, plan := range space.Plans {
+			entries := []lp.Entry{{Row: chooseRow, Coef: 1}}
+			for _, x := range plan.Indexes() {
+				if !b.paid(x.ID()) {
+					continue
+				}
+				r, ok := linkRow[x.ID()]
+				if !ok {
+					r = prog.AddRow(math.Inf(-1), 0)
+					linkRow[x.ID()] = r
+					linkOrder = append(linkOrder, x.ID())
+				}
+				entries = append(entries, lp.Entry{Row: r, Coef: 1})
+			}
+			entries, obj := objEntry(entries, weight*plan.Cost)
+			col := prog.AddBinary(obj, entries...)
+			refs.planCols[col] = mk(plan)
+			refs.planCol[plan] = col
+		}
+		sort.Strings(linkOrder)
+		for _, id := range linkOrder {
+			prog.AddColEntry(refs.indexCol[id], linkRow[id], -1)
+		}
+	}
+
+	for _, qb := range b.queries {
+		chooseRow := prog.AddRow(1, 1)
+		qb := qb
+		addPlanVars(qb.space, chooseRow, b.w.Weight(qb.ws), func(pl *planner.Plan) planRef {
+			return planRef{query: qb, plan: pl}
+		})
+	}
+
+	// Support query groups: an indicator z forced on by any modified
+	// family, an equality gate choosing exactly z plans, and linking of
+	// support plans to the paid families they read.
+	for _, ub := range b.updates {
+		for _, g := range ub.groups {
+			zCol := prog.AddBinary(0)
+			refs.zCol[g] = zCol
+			gateRow := prog.AddRow(0, 0)
+			prog.AddColEntry(zCol, gateRow, -1)
+			// Sum of the group's modified families minus |group|·z <= 0:
+			// any selected family forces z (and hence a support plan).
+			// Aggregating keeps one row per group; integrality of z
+			// makes the aggregate exact. Modified families always carry
+			// maintenance cost, hence are always paid.
+			force := prog.AddRow(math.Inf(-1), 0)
+			prog.AddColEntry(zCol, force, -float64(len(g.indexes)))
+			for _, x := range g.indexes {
+				prog.AddColEntry(refs.indexCol[x.ID()], force, 1)
+			}
+			ub, g := ub, g
+			addPlanVars(g.space, gateRow, b.w.Weight(ub.ws), func(pl *planner.Plan) planRef {
+				return planRef{group: g, ub: ub, plan: pl}
+			})
+		}
+	}
+
+	return prog, refs
+}
+
+// greedyIncumbent builds a feasible warm-start assignment: every query
+// takes its cheapest plan, the paid families those plans read are
+// selected, and every group forced by a selected family takes its
+// cheapest support plan — iterated to a fixpoint since support plans
+// may read further paid families.
+func (b *builder) greedyIncumbent(prog *bip.Program, refs *colRefs) []float64 {
+	x := make([]float64, prog.NumCols())
+	selected := map[string]bool{}
+	markPaid := func(pl *planner.Plan) {
+		for _, ix := range pl.Indexes() {
+			if b.paid(ix.ID()) {
+				selected[ix.ID()] = true
+			}
+		}
+	}
+	for _, qb := range b.queries {
+		pl := qb.space.Plans[0]
+		x[refs.planCol[pl]] = 1
+		markPaid(pl)
+	}
+	chosen := map[*supportGroup]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, ub := range b.updates {
+			for _, g := range ub.groups {
+				if chosen[g] {
+					continue
+				}
+				forced := false
+				for _, ix := range g.indexes {
+					if selected[ix.ID()] {
+						forced = true
+						break
+					}
+				}
+				if !forced {
+					continue
+				}
+				chosen[g] = true
+				changed = true
+				pl := g.space.Plans[0]
+				x[refs.planCol[pl]] = 1
+				x[refs.zCol[g]] = 1
+				markPaid(pl)
+			}
+		}
+	}
+	for id := range selected {
+		x[refs.indexCol[id]] = 1
+	}
+	return x
+}

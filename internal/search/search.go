@@ -1,0 +1,194 @@
+// Package search is the schema optimizer (paper §V, §VI-D): it
+// enumerates candidates, generates plan spaces, formulates column
+// family selection as a binary integer program, solves it in two phases
+// (minimum workload cost, then fewest column families at that cost),
+// and extracts the recommended schema plus one implementation plan per
+// statement.
+package search
+
+import (
+	"fmt"
+	"time"
+
+	"nose/internal/bip"
+	"nose/internal/cost"
+	"nose/internal/enumerator"
+	"nose/internal/planner"
+	"nose/internal/schema"
+	"nose/internal/workload"
+)
+
+// Options configures an advisor run.
+type Options struct {
+	// CostModel prices plan operations; nil means cost.Default().
+	CostModel cost.Model
+	// Planner tunes plan-space generation.
+	Planner planner.Config
+	// Enumerator toggles optional enumeration steps (ablation).
+	Enumerator enumerator.Features
+	// MaxSupportPlans bounds the plan space of each support query;
+	// zero means DefaultMaxSupportPlans.
+	MaxSupportPlans int
+	// SpaceBudgetBytes, when positive, constrains the total estimated
+	// size of the recommended column families (paper §III-D's optional
+	// space constraint).
+	SpaceBudgetBytes float64
+	// BIP tunes the integer solver.
+	BIP bip.Options
+	// SkipMinimizeSchema disables the second solver phase that
+	// minimizes the number of column families at optimal cost.
+	SkipMinimizeSchema bool
+}
+
+// DefaultMaxSupportPlans bounds support-query plan spaces.
+const DefaultMaxSupportPlans = 8
+
+// Timings breaks down where an advisor run spent its time, mirroring
+// the categories of paper Fig. 13.
+type Timings struct {
+	// Enumeration covers candidate enumeration (Algorithm 1).
+	Enumeration time.Duration
+	// CostCalculation covers plan-space generation and cost
+	// estimation.
+	CostCalculation time.Duration
+	// BIPConstruction covers formulating the integer program.
+	BIPConstruction time.Duration
+	// BIPSolving covers the integer solves (both phases).
+	BIPSolving time.Duration
+	// Other covers extraction and bookkeeping.
+	Other time.Duration
+	// Total is the end-to-end advisor time.
+	Total time.Duration
+}
+
+// Stats reports the size of the optimization problem.
+type Stats struct {
+	// Candidates is the number of enumerated column families.
+	Candidates int
+	// PlanVariables is the number of plan-choice binary variables.
+	PlanVariables int
+	// Constraints is the number of BIP rows.
+	Constraints int
+	// Nodes is the number of branch and bound nodes explored.
+	Nodes int
+}
+
+// QueryRecommendation pairs a workload query with its chosen plan.
+type QueryRecommendation struct {
+	// Statement is the workload entry.
+	Statement *workload.WeightedStatement
+	// Plan is the recommended implementation plan.
+	Plan *planner.Plan
+}
+
+// UpdateRecommendation describes how one write statement maintains one
+// recommended column family.
+type UpdateRecommendation struct {
+	// Statement is the workload entry.
+	Statement *workload.WeightedStatement
+	// Plan carries the write-side costs for the maintained family.
+	Plan *planner.UpdatePlan
+	// SupportPlans are the chosen plans for the update's support
+	// queries.
+	SupportPlans []*planner.Plan
+}
+
+// Recommendation is the advisor's output: the schema, one plan per
+// query, the update maintenance plans, and run statistics.
+type Recommendation struct {
+	// Schema holds the recommended column families.
+	Schema *schema.Schema
+	// Queries holds one entry per workload query, in workload order.
+	Queries []*QueryRecommendation
+	// Updates holds one entry per (write statement, maintained family)
+	// pair.
+	Updates []*UpdateRecommendation
+	// Cost is the optimal weighted workload cost under the cost model.
+	Cost float64
+	// Timings breaks down the advisor runtime.
+	Timings Timings
+	// Stats reports problem sizes.
+	Stats Stats
+}
+
+// Advise runs the full pipeline on a workload and returns the
+// recommendation.
+func Advise(w *workload.Workload, opt Options) (*Recommendation, error) {
+	if opt.CostModel == nil {
+		opt.CostModel = cost.Default()
+	}
+	if opt.MaxSupportPlans <= 0 {
+		opt.MaxSupportPlans = DefaultMaxSupportPlans
+	}
+	start := time.Now()
+	rec := &Recommendation{}
+
+	// Candidate enumeration (Algorithm 1).
+	t := time.Now()
+	enumRes, err := enumerator.EnumerateWorkloadWith(w, opt.Enumerator)
+	if err != nil {
+		return nil, err
+	}
+	rec.Timings.Enumeration = time.Since(t)
+	rec.Stats.Candidates = enumRes.Pool.Len()
+
+	// Plan-space generation and cost estimation.
+	t = time.Now()
+	pl := planner.New(enumRes.Pool, opt.CostModel, opt.Planner)
+	b, err := newBuilder(w, pl, enumRes, opt)
+	if err != nil {
+		return nil, err
+	}
+	rec.Timings.CostCalculation = time.Since(t)
+
+	// Phase 1: minimize weighted workload cost.
+	t = time.Now()
+	prog1, refs1 := b.formulate(nil)
+	rec.Timings.BIPConstruction = time.Since(t)
+	rec.Stats.PlanVariables = len(refs1.planCols)
+	rec.Stats.Constraints = prog1.NumRows()
+
+	phase1Opts := opt.BIP
+	phase1Opts.Incumbent = b.greedyIncumbent(prog1, refs1)
+	t = time.Now()
+	res1, err := prog1.Solve(phase1Opts)
+	rec.Timings.BIPSolving = time.Since(t)
+	if err != nil {
+		return nil, fmt.Errorf("search: phase 1 solve: %w", err)
+	}
+	if !res1.HasSolution {
+		return nil, fmt.Errorf("search: phase 1 %v: no feasible schema", res1.Status)
+	}
+	rec.Stats.Nodes = res1.Nodes
+	rec.Cost = res1.Objective
+	chosen := res1
+
+	// Phase 2: among minimum-cost schemas, prefer the fewest column
+	// families (paper §V).
+	if !opt.SkipMinimizeSchema {
+		t = time.Now()
+		pin := res1.Objective
+		prog2, refs2 := b.formulate(&pin)
+		rec.Timings.BIPConstruction += time.Since(t)
+
+		phase2Opts := opt.BIP
+		phase2Opts.Incumbent = res1.X
+		t = time.Now()
+		res2, err := prog2.Solve(phase2Opts)
+		rec.Timings.BIPSolving += time.Since(t)
+		if err == nil && res2.HasSolution {
+			chosen = res2
+			refs1 = refs2
+			rec.Stats.Nodes += res2.Nodes
+		}
+	}
+
+	// Extraction.
+	t = time.Now()
+	if err := b.extract(chosen, refs1, rec); err != nil {
+		return nil, err
+	}
+	rec.Timings.Other = time.Since(t)
+	rec.Timings.Total = time.Since(start)
+	return rec, nil
+}

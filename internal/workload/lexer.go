@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens of the statement language.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokParam  // ?name or bare ?
+	tokNumber // integer literal (used by LIMIT)
+	tokOp     // = < <= > >=
+	tokComma
+	tokDot
+	tokLParen
+	tokRParen
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of statement"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer splits statement text into tokens. Identifiers are
+// case-sensitive; keywords are matched case-insensitively by the parser.
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "")
+			return l.tokens, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case c == ',':
+			l.emit(tokComma, ",")
+			l.pos++
+		case c == '.':
+			l.emit(tokDot, ".")
+			l.pos++
+		case c == '(':
+			l.emit(tokLParen, "(")
+			l.pos++
+		case c == ')':
+			l.emit(tokRParen, ")")
+			l.pos++
+		case c == '=':
+			l.emit(tokOp, "=")
+			l.pos++
+		case c == '<' || c == '>':
+			op := string(c)
+			l.pos++
+			if l.pos < len(l.src) && l.src[l.pos] == '=' {
+				op += "="
+				l.pos++
+			}
+			l.emit(tokOp, op)
+		case c == '?':
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && isIdentChar(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.emit(tokParam, l.src[start:l.pos])
+		case unicode.IsDigit(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.emit(tokNumber, l.src[start:l.pos])
+		case isIdentStart(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentChar(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.emit(tokIdent, l.src[start:l.pos])
+		default:
+			return nil, fmt.Errorf("workload: unexpected character %q at offset %d", c, l.pos)
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func (l *lexer) emit(k tokenKind, text string) {
+	l.tokens = append(l.tokens, token{kind: k, text: text, pos: l.pos})
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentChar(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// keywordIs reports whether the token is the given keyword,
+// case-insensitively.
+func keywordIs(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

@@ -1,0 +1,516 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+
+	"nose/internal/model"
+)
+
+// Parse parses one statement of the workload language against the given
+// conceptual model. The language follows the paper's examples:
+//
+//	SELECT Guest.GuestName FROM Guest
+//	    WHERE Guest.Reservation.Room.Hotel.HotelCity = ?city
+//	    AND Guest.Reservation.Room.RoomRate > ?rate
+//	    ORDER BY Guest.GuestName LIMIT 10
+//	INSERT INTO Reservation SET ResID = ?, ResEndDate = ?date
+//	    AND CONNECT TO Guest(?gid), Room(?rid)
+//	UPDATE Reservation FROM Reservation.Guest SET ResEndDate = ?
+//	    WHERE Guest.GuestID = ?
+//	DELETE FROM Guest WHERE Guest.GuestID = ?
+//	CONNECT User(?userid) TO Reservations(?resid)
+//	DISCONNECT User(?userid) FROM Reservations(?resid)
+//
+// Attribute references are dotted paths over the entity graph; all
+// references in one statement must lie along a single path.
+func Parse(g *model.Graph, src string) (Statement, error) {
+	tokens, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{graph: g, tokens: tokens, src: src}
+	st, err := p.parseStatement()
+	if err != nil {
+		return nil, fmt.Errorf("%w (in statement %q)", err, src)
+	}
+	return st, nil
+}
+
+// ParseQuery parses a statement that must be a query.
+func ParseQuery(g *model.Graph, src string) (*Query, error) {
+	st, err := Parse(g, src)
+	if err != nil {
+		return nil, err
+	}
+	q, ok := st.(*Query)
+	if !ok {
+		return nil, fmt.Errorf("workload: statement %q is not a query", src)
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error, for statically-known
+// statements in tests and built-in workloads.
+func MustParse(g *model.Graph, src string) Statement {
+	st, err := Parse(g, src)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// MustParseQuery is ParseQuery that panics on error.
+func MustParseQuery(g *model.Graph, src string) *Query {
+	q, err := ParseQuery(g, src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	graph   *model.Graph
+	tokens  []token
+	pos     int
+	src     string
+	nparams int
+}
+
+func (p *parser) peek() token { return p.tokens[p.pos] }
+func (p *parser) next() token { t := p.tokens[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+func (p *parser) keyword(kw string) bool {
+	if keywordIs(p.peek(), kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return fmt.Errorf("workload: expected %s, found %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) expect(k tokenKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return token{}, fmt.Errorf("workload: expected %s, found %s", what, t)
+	}
+	return t, nil
+}
+
+// param consumes a parameter token, auto-naming anonymous '?' params.
+func (p *parser) param() (string, error) {
+	t, err := p.expect(tokParam, "parameter")
+	if err != nil {
+		return "", err
+	}
+	name := t.text[1:]
+	if name == "" {
+		name = "p" + strconv.Itoa(p.nparams)
+	}
+	p.nparams++
+	return name, nil
+}
+
+// dottedNames consumes ident (. ident)* and returns the parts.
+func (p *parser) dottedNames() ([]string, error) {
+	t, err := p.expect(tokIdent, "identifier")
+	if err != nil {
+		return nil, err
+	}
+	parts := []string{t.text}
+	for p.peek().kind == tokDot {
+		p.next()
+		t, err := p.expect(tokIdent, "identifier after '.'")
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, t.text)
+	}
+	return parts, nil
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.keyword("SELECT"):
+		return p.parseSelect()
+	case p.keyword("INSERT"):
+		return p.parseInsert()
+	case p.keyword("UPDATE"):
+		return p.parseUpdate()
+	case p.keyword("DELETE"):
+		return p.parseDelete()
+	case p.keyword("CONNECT"):
+		return p.parseConnect(false)
+	case p.keyword("DISCONNECT"):
+		return p.parseConnect(true)
+	default:
+		return nil, fmt.Errorf("workload: expected a statement keyword, found %s", p.peek())
+	}
+}
+
+func (p *parser) parseSelect() (Statement, error) {
+	// Collect raw select refs first; they are resolved after FROM
+	// establishes the path.
+	var rawSelects []rawRef
+	for {
+		parts, err := p.dottedNames()
+		if err != nil {
+			return nil, err
+		}
+		rawSelects = append(rawSelects, rawRef{parts: parts})
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	parts, err := p.dottedNames()
+	if err != nil {
+		return nil, err
+	}
+	path, err := p.graph.ResolvePath(parts)
+	if err != nil {
+		return nil, err
+	}
+	r := &resolver{graph: p.graph, path: path}
+
+	q := &Query{Graph: p.graph}
+	where, err := p.parseWhere(r)
+	if err != nil {
+		return nil, err
+	}
+	q.Where = where
+
+	if p.keyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			parts, err := p.dottedNames()
+			if err != nil {
+				return nil, err
+			}
+			ref, err := r.resolve(rawRef{parts: parts})
+			if err != nil {
+				return nil, err
+			}
+			q.Order = append(q.Order, ref)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.keyword("LIMIT") {
+		t, err := p.expect(tokNumber, "limit count")
+		if err != nil {
+			return nil, err
+		}
+		q.Limit, _ = strconv.Atoi(t.text)
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("workload: unexpected trailing input %s", p.peek())
+	}
+
+	// Resolve the SELECT list last so select-only navigation can also
+	// extend the path established by predicates.
+	for _, raw := range rawSelects {
+		ref, err := r.resolve(raw)
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, ref)
+	}
+	q.Path = r.path
+	return q, q.Validate()
+}
+
+// parseWhere parses an optional WHERE pred (AND pred)* clause.
+func (p *parser) parseWhere(r *resolver) ([]Predicate, error) {
+	if !p.keyword("WHERE") {
+		return nil, nil
+	}
+	var preds []Predicate
+	for {
+		parts, err := p.dottedNames()
+		if err != nil {
+			return nil, err
+		}
+		ref, err := r.resolve(rawRef{parts: parts})
+		if err != nil {
+			return nil, err
+		}
+		opTok, err := p.expect(tokOp, "comparison operator")
+		if err != nil {
+			return nil, err
+		}
+		op, err := parseOp(opTok.text)
+		if err != nil {
+			return nil, err
+		}
+		param, err := p.param()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, Predicate{Ref: ref, Op: op, Param: param})
+		if !p.keyword("AND") {
+			break
+		}
+	}
+	return preds, nil
+}
+
+func parseOp(s string) (Op, error) {
+	switch s {
+	case "=":
+		return Eq, nil
+	case ">":
+		return Gt, nil
+	case ">=":
+		return Ge, nil
+	case "<":
+		return Lt, nil
+	case "<=":
+		return Le, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown operator %q", s)
+	}
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	t, err := p.expect(tokIdent, "entity name")
+	if err != nil {
+		return nil, err
+	}
+	entity := p.graph.Entity(t.text)
+	if entity == nil {
+		return nil, fmt.Errorf("workload: no entity %q", t.text)
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	ins := &Insert{Graph: p.graph, Entity: entity}
+	assigns, err := p.parseAssignments(entity)
+	if err != nil {
+		return nil, err
+	}
+	// The key assignment, if present, becomes KeyParam; otherwise an
+	// implicit parameter supplies the key (the paper assumes keys are
+	// always provided on insert).
+	for _, a := range assigns {
+		if a.Attr.IsKey() {
+			ins.KeyParam = a.Param
+		} else {
+			ins.Set = append(ins.Set, a)
+		}
+	}
+	if ins.KeyParam == "" {
+		ins.KeyParam = "p" + strconv.Itoa(p.nparams)
+		p.nparams++
+	}
+	if p.keyword("AND") {
+		if err := p.expectKeyword("CONNECT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("TO"); err != nil {
+			return nil, err
+		}
+		for {
+			conn, err := p.parseConnTarget(entity)
+			if err != nil {
+				return nil, err
+			}
+			ins.Connections = append(ins.Connections, conn)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("workload: unexpected trailing input %s", p.peek())
+	}
+	return ins, nil
+}
+
+// parseAssignments parses attr = ?param (, attr = ?param)*. Attribute
+// names may be bare or qualified with the entity name.
+func (p *parser) parseAssignments(entity *model.Entity) ([]Assignment, error) {
+	var out []Assignment
+	for {
+		parts, err := p.dottedNames()
+		if err != nil {
+			return nil, err
+		}
+		var attrName string
+		switch {
+		case len(parts) == 1:
+			attrName = parts[0]
+		case len(parts) == 2 && parts[0] == entity.Name:
+			attrName = parts[1]
+		default:
+			return nil, fmt.Errorf("workload: assignment target %q must be an attribute of %s", rawRef{parts}, entity.Name)
+		}
+		attr := entity.Attribute(attrName)
+		if attr == nil {
+			return nil, fmt.Errorf("workload: entity %s has no attribute %q", entity.Name, attrName)
+		}
+		if t, err := p.expect(tokOp, "'='"); err != nil {
+			return nil, err
+		} else if t.text != "=" {
+			return nil, fmt.Errorf("workload: assignments require '=', found %q", t.text)
+		}
+		param, err := p.param()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Assignment{Attr: attr, Param: param})
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	return out, nil
+}
+
+// parseConnTarget parses edge(?param) for an edge leaving entity.
+func (p *parser) parseConnTarget(entity *model.Entity) (Connection, error) {
+	t, err := p.expect(tokIdent, "relationship name")
+	if err != nil {
+		return Connection{}, err
+	}
+	edge := entity.Edge(t.text)
+	if edge == nil {
+		return Connection{}, fmt.Errorf("workload: entity %s has no relationship %q", entity.Name, t.text)
+	}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return Connection{}, err
+	}
+	param, err := p.param()
+	if err != nil {
+		return Connection{}, err
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return Connection{}, err
+	}
+	return Connection{Edge: edge, Param: param}, nil
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	t, err := p.expect(tokIdent, "entity name")
+	if err != nil {
+		return nil, err
+	}
+	entity := p.graph.Entity(t.text)
+	if entity == nil {
+		return nil, fmt.Errorf("workload: no entity %q", t.text)
+	}
+	path := model.NewPath(entity)
+	if p.keyword("FROM") {
+		parts, err := p.dottedNames()
+		if err != nil {
+			return nil, err
+		}
+		path, err = p.graph.ResolvePath(parts)
+		if err != nil {
+			return nil, err
+		}
+		if path.Start != entity {
+			return nil, fmt.Errorf("workload: UPDATE path %s must start at %s", path, entity.Name)
+		}
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	set, err := p.parseAssignments(entity)
+	if err != nil {
+		return nil, err
+	}
+	r := &resolver{graph: p.graph, path: path}
+	where, err := p.parseWhere(r)
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("workload: unexpected trailing input %s", p.peek())
+	}
+	return &Update{Graph: p.graph, Path: r.path, Set: set, Where: where}, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	parts, err := p.dottedNames()
+	if err != nil {
+		return nil, err
+	}
+	path, err := p.graph.ResolvePath(parts)
+	if err != nil {
+		return nil, err
+	}
+	r := &resolver{graph: p.graph, path: path}
+	where, err := p.parseWhere(r)
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("workload: unexpected trailing input %s", p.peek())
+	}
+	return &Delete{Graph: p.graph, Path: r.path, Where: where}, nil
+}
+
+// parseConnect parses CONNECT Entity(?) TO edge(?) or
+// DISCONNECT Entity(?) FROM edge(?).
+func (p *parser) parseConnect(disconnect bool) (Statement, error) {
+	t, err := p.expect(tokIdent, "entity name")
+	if err != nil {
+		return nil, err
+	}
+	entity := p.graph.Entity(t.text)
+	if entity == nil {
+		return nil, fmt.Errorf("workload: no entity %q", t.text)
+	}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	fromParam, err := p.param()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	kw := "TO"
+	if disconnect {
+		kw = "FROM"
+	}
+	if err := p.expectKeyword(kw); err != nil {
+		return nil, err
+	}
+	conn, err := p.parseConnTarget(entity)
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("workload: unexpected trailing input %s", p.peek())
+	}
+	return &Connect{
+		Graph:      p.graph,
+		Edge:       conn.Edge,
+		FromParam:  fromParam,
+		ToParam:    conn.Param,
+		Disconnect: disconnect,
+	}, nil
+}

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"nose/internal/model"
+)
+
+// rawRef is an unresolved dotted attribute reference from the parser.
+type rawRef struct {
+	parts []string // navigation names; the last element is the attribute
+}
+
+func (r rawRef) String() string { return strings.Join(r.parts, ".") }
+
+// resolver incrementally binds raw references against a query path,
+// extending the path when a reference navigates beyond its current end.
+// All references in a statement must lie along one path (paper §III-B);
+// the resolver enforces this by refusing branching extensions.
+type resolver struct {
+	graph *model.Graph
+	path  model.Path
+}
+
+// resolveOutcome is one candidate binding of a reference: the final path
+// index, the attribute, and any edges the path must be extended by.
+type resolveOutcome struct {
+	index  int
+	attr   *model.Attribute
+	extend []*model.Edge
+}
+
+// resolve binds a dotted reference against the current path, committing
+// any path extension it requires. The first name of a reference anchors
+// it: it may match the path's start entity, any entity along the path,
+// or any relationship segment name on the path.
+func (r *resolver) resolve(ref rawRef) (AttrRef, error) {
+	if len(ref.parts) < 2 {
+		return AttrRef{}, fmt.Errorf("workload: reference %q must be qualified as Entity.Attribute", ref)
+	}
+	nav, attrName := ref.parts[:len(ref.parts)-1], ref.parts[len(ref.parts)-1]
+
+	var outcomes []resolveOutcome
+	for _, anchor := range r.anchors(nav[0]) {
+		if out, ok := r.walkFrom(anchor, nav[1:], attrName); ok {
+			outcomes = append(outcomes, out)
+		}
+	}
+	switch len(outcomes) {
+	case 0:
+		return AttrRef{}, fmt.Errorf("workload: reference %q does not lie along the statement path %s", ref, r.path)
+	case 1:
+	default:
+		// Multiple anchors are fine if they agree on the binding.
+		for _, o := range outcomes[1:] {
+			if o.index != outcomes[0].index || o.attr != outcomes[0].attr || len(o.extend) != len(outcomes[0].extend) {
+				return AttrRef{}, fmt.Errorf("workload: reference %q is ambiguous on path %s", ref, r.path)
+			}
+		}
+	}
+	out := outcomes[0]
+	for _, ed := range out.extend {
+		r.path = r.path.Append(ed)
+	}
+	return AttrRef{Index: out.index, Attr: out.attr}, nil
+}
+
+// anchors returns the path positions the given name may anchor at: the
+// start entity by name, any traversed edge by segment name, or any
+// entity along the path by entity name.
+func (r *resolver) anchors(name string) []int {
+	seen := map[int]bool{}
+	var out []int
+	add := func(i int) {
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	if r.path.Start.Name == name {
+		add(0)
+	}
+	for i, ed := range r.path.Edges {
+		if ed.Name == name {
+			add(i + 1)
+		}
+		if ed.To.Name == name {
+			add(i + 1)
+		}
+	}
+	return out
+}
+
+// walkFrom follows the remaining navigation names from a path position.
+// Each name must either match the next segment of the existing path or,
+// when the walk has reached the path's end, extend it by an outgoing
+// edge.
+func (r *resolver) walkFrom(pos int, nav []string, attrName string) (resolveOutcome, bool) {
+	path := r.path
+	var extension []*model.Edge
+	cur := pos
+	for _, name := range nav {
+		switch {
+		case cur < len(path.Edges) && path.Edges[cur].Name == name:
+			cur++
+		case cur == len(path.Edges):
+			ed := path.EntityAt(cur).Edge(name)
+			if ed == nil {
+				return resolveOutcome{}, false
+			}
+			path = path.Append(ed)
+			extension = append(extension, ed)
+			cur++
+		default:
+			return resolveOutcome{}, false
+		}
+	}
+	attr := path.EntityAt(cur).Attribute(attrName)
+	if attr == nil {
+		return resolveOutcome{}, false
+	}
+	return resolveOutcome{index: cur, attr: attr, extend: extension}, true
+}
