@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	nose -in workload.nose [-space bytes] [-mix name] [-max-plans n] [-v]
+//	nose -in workload.nose [-space bytes] [-mix name] [-max-plans n] [-faults] [-v]
+//
+// With -faults the report includes each query's failover readiness:
+// how many executable alternative plans the recommended schema keeps,
+// i.e. how many column families can fail before the query becomes
+// unavailable.
 package main
 
 import (
@@ -25,6 +30,7 @@ func main() {
 	space := flag.Float64("space", 0, "optional storage budget in bytes")
 	mix := flag.String("mix", "", "workload mix to optimize for")
 	maxPlans := flag.Int("max-plans", planner.DefaultMaxPlansPerQuery, "plan space bound per query")
+	faultsReport := flag.Bool("faults", false, "print each query's failover readiness (executable alternative plans)")
 	verbose := flag.Bool("v", false, "print update maintenance plans and timings")
 	flag.Parse()
 
@@ -61,6 +67,18 @@ func main() {
 	for _, qr := range rec.Queries {
 		fmt.Printf("\n%s (weight %.3f)\n", workload.Label(qr.Statement.Statement), w.Weight(qr.Statement))
 		fmt.Print(qr.Plan)
+	}
+
+	if *faultsReport {
+		fmt.Println("\nFailover readiness (executable plans per query under the recommended schema):")
+		for _, qr := range rec.Queries {
+			alts := len(qr.Alternatives)
+			note := ""
+			if alts <= 1 {
+				note = "  (no alternative: one failed column family makes this query unavailable)"
+			}
+			fmt.Printf("  %-60s %d plan(s)%s\n", workload.Label(qr.Statement.Statement), alts, note)
+		}
 	}
 
 	if *verbose {

@@ -4,17 +4,21 @@
 //	nosebench -experiment fig11 [-users 20000] [-executions 50]
 //	nosebench -experiment fig12 [-users 20000] [-executions 50]
 //	nosebench -experiment fig13 [-factors 5]
+//	nosebench -experiment chaos [-faults 0,0.005,0.02,0.05] [-fault-seed 7]
 //
 // Fig. 11: per-transaction response times for the RUBiS bidding
 // workload on the NoSE, normalized, and expert schemas. Fig. 12:
 // weighted average response times across workload mixes. Fig. 13:
-// advisor runtime versus workload scale factor.
+// advisor runtime versus workload scale factor. Chaos: graceful
+// degradation of the three schemas under injected store faults.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"nose/internal/bip"
 	"nose/internal/experiments"
@@ -24,12 +28,14 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig11", "fig11, fig12, fig13, budget or ablation")
+	experiment := flag.String("experiment", "fig11", "fig11, fig12, fig13, budget, ablation or chaos")
 	users := flag.Int("users", 20_000, "RUBiS users (the paper used 200000)")
 	executions := flag.Int("executions", 50, "measured executions per transaction type")
 	factors := flag.Int("factors", 4, "max scale factor for fig13 (the paper used 10; factors above 3 can take tens of minutes with the built-in solver)")
 	maxPlans := flag.Int("max-plans", 24, "plan space bound per query for the advisor")
 	maxNodes := flag.Int("max-nodes", 500, "branch and bound node budget per solve")
+	faultRates := flag.String("faults", "", "comma-separated fault rates for the chaos experiment (default 0,0.005,0.02,0.05)")
+	faultSeed := flag.Int64("fault-seed", 7, "fault injector seed for the chaos experiment")
 	flag.Parse()
 
 	opts := search.Options{
@@ -72,6 +78,21 @@ func main() {
 		}
 		fmt.Println("Ablation — workload cost vs storage budget (hotel booking workload)")
 		fmt.Print(res.Format())
+	case "chaos":
+		rates, err := parseRates(*faultRates)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := experiments.RunChaos(experiments.ChaosConfig{
+			Base:  cfg,
+			Rates: rates,
+			Seed:  *faultSeed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Chaos — graceful degradation under injected store faults (bidding workload)")
+		fmt.Print(res.Format())
 	case "fig13":
 		res, err := experiments.RunFig13(experiments.Fig13Config{
 			MaxFactor: *factors,
@@ -86,6 +107,26 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *experiment))
 	}
+}
+
+// parseRates parses a comma-separated fault rate list; empty means the
+// experiment's default sweep.
+func parseRates(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var rates []float64
+	for _, field := range strings.Split(s, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad fault rate %q: %w", field, err)
+		}
+		if r < 0 || r > 1 {
+			return nil, fmt.Errorf("fault rate %g outside [0, 1]", r)
+		}
+		rates = append(rates, r)
+	}
+	return rates, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,169 @@
+package backend
+
+import (
+	"testing"
+
+	"nose/internal/cost"
+)
+
+// scanVisited counts the records a bounded scan touches, mirroring the
+// Get scan loop without the matchRanges filter.
+func scanVisited(t *btree, from, to Bound) int {
+	n := 0
+	t.Scan(from, to, func([]Value, []Value) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// TestScanBoundsGTExclusive is the regression test for the GT lower
+// bound: with a single clustering column the bound must exclude keys
+// equal to the bound value instead of scanning and discarding them.
+func TestScanBoundsGTExclusive(t *testing.T) {
+	tree := newBTree()
+	for i := int64(0); i < 10; i++ {
+		tree.Set([]Value{i}, []Value{i})
+	}
+
+	from, to := scanBounds([]ClusterRange{{Op: GT, Value: int64(4)}}, 1)
+	if from.Inclusive {
+		t.Error("GT lower bound over a single clustering column should be exclusive")
+	}
+	if got := scanVisited(tree, from, to); got != 5 {
+		t.Errorf("GT 4 visited %d records, want 5 (keys 5..9)", got)
+	}
+
+	// GE keeps the equal key.
+	from, to = scanBounds([]ClusterRange{{Op: GE, Value: int64(4)}}, 1)
+	if !from.Inclusive {
+		t.Error("GE lower bound should be inclusive")
+	}
+	if got := scanVisited(tree, from, to); got != 6 {
+		t.Errorf("GE 4 visited %d records, want 6 (keys 4..9)", got)
+	}
+
+	// Single-column upper bounds are exact too.
+	from, to = scanBounds([]ClusterRange{{Op: LT, Value: int64(4)}}, 1)
+	if got := scanVisited(tree, from, to); got != 4 {
+		t.Errorf("LT 4 visited %d records, want 4 (keys 0..3)", got)
+	}
+	from, to = scanBounds([]ClusterRange{{Op: LE, Value: int64(4)}}, 1)
+	if got := scanVisited(tree, from, to); got != 5 {
+		t.Errorf("LE 4 visited %d records, want 5 (keys 0..4)", got)
+	}
+}
+
+// TestScanBoundsCompositeGT checks that composite clustering keys that
+// share the bounded first value are still scanned (the bound cannot
+// express a prefix-exclusive cut) and that matchRanges discards them,
+// so results stay correct.
+func TestScanBoundsCompositeGT(t *testing.T) {
+	tree := newBTree()
+	for i := int64(0); i < 4; i++ {
+		for j := int64(0); j < 3; j++ {
+			tree.Set([]Value{i, j}, []Value{i * 10})
+		}
+	}
+	ranges := []ClusterRange{{Op: GT, Value: int64(1)}}
+	from, to := scanBounds(ranges, 2)
+	kept := 0
+	tree.Scan(from, to, func(key []Value, _ []Value) bool {
+		if matchRanges(key, ranges) {
+			kept++
+		}
+		return true
+	})
+	if kept != 6 {
+		t.Errorf("composite GT 1 kept %d records, want 6 (first col 2..3)", kept)
+	}
+}
+
+// TestGetRangesAgainstFlatFamily is the regression test for the
+// matchRanges panic: a ranged get against a column family with zero
+// clustering columns must return a descriptive error, not index key[0]
+// of an empty key.
+func TestGetRangesAgainstFlatFamily(t *testing.T) {
+	s := NewStore(cost.DefaultParams())
+	def := ColumnFamilyDef{
+		Name:          "flat",
+		PartitionCols: []string{"User.ID"},
+		ValueCols:     []string{"User.Name"},
+	}
+	if err := s.Create(def); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("flat", []Value{int64(1)}, nil, []Value{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Get("flat", GetRequest{
+		Partition: []Value{int64(1)},
+		Ranges:    []ClusterRange{{Op: GE, Value: int64(0)}},
+	})
+	if err == nil {
+		t.Fatal("ranged get against a flat column family should error")
+	}
+	// Without ranges the same get succeeds.
+	res, err := s.Get("flat", GetRequest{Partition: []Value{int64(1)}})
+	if err != nil || len(res.Records) != 1 {
+		t.Fatalf("plain get: records=%v err=%v", res, err)
+	}
+}
+
+// TestGetRangeEquivalence cross-checks the tightened bounds against a
+// brute-force filter over every record.
+func TestGetRangeEquivalence(t *testing.T) {
+	s := NewStore(cost.DefaultParams())
+	def := ColumnFamilyDef{
+		Name:           "cf",
+		PartitionCols:  []string{"P"},
+		ClusteringCols: []string{"C"},
+		ValueCols:      []string{"V"},
+	}
+	if err := s.Create(def); err != nil {
+		t.Fatal(err)
+	}
+	var all []int64
+	for i := int64(0); i < 50; i++ {
+		v := (i * 7) % 50
+		all = append(all, v)
+		if _, err := s.Put("cf", []Value{int64(1)}, []Value{v}, []Value{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, op := range []RangeOp{GT, GE, LT, LE} {
+		for _, bound := range []int64{-1, 0, 7, 25, 49, 60} {
+			res, err := s.Get("cf", GetRequest{
+				Partition: []Value{int64(1)},
+				Ranges:    []ClusterRange{{Op: op, Value: bound}},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := 0
+			for _, v := range all {
+				switch op {
+				case GT:
+					if v > bound {
+						want++
+					}
+				case GE:
+					if v >= bound {
+						want++
+					}
+				case LT:
+					if v < bound {
+						want++
+					}
+				case LE:
+					if v <= bound {
+						want++
+					}
+				}
+			}
+			if len(res.Records) != want {
+				t.Errorf("op %v bound %d: got %d records, want %d", op, bound, len(res.Records), want)
+			}
+		}
+	}
+}

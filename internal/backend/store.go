@@ -148,13 +148,17 @@ func (s *Store) Get(name string, req GetRequest) (*GetResult, error) {
 		return nil, fmt.Errorf("backend: get on %q supplies %d of %d partition key values",
 			name, len(req.Partition), len(cf.def.PartitionCols))
 	}
+	if len(req.Ranges) > 0 && len(cf.def.ClusteringCols) == 0 {
+		return nil, fmt.Errorf("backend: get on %q has a clustering range but the column family has no clustering columns",
+			name)
+	}
 	cf.mu.RLock()
 	defer cf.mu.RUnlock()
 
 	res := &GetResult{}
 	tree := cf.parts[EncodeKey(req.Partition)]
 	if tree != nil {
-		from, to := scanBounds(req.Ranges)
+		from, to := scanBounds(req.Ranges, len(cf.def.ClusteringCols))
 		tree.Scan(from, to, func(key []Value, vals []Value) bool {
 			if !matchRanges(key, req.Ranges) {
 				return true
@@ -167,18 +171,35 @@ func (s *Store) Get(name string, req GetRequest) (*GetResult, error) {
 	return res, nil
 }
 
-// scanBounds converts first-column ranges into composite scan bounds.
-// Upper bounds are widened by one position and re-checked per record,
-// because composite keys sharing the bounded first value extend beyond
-// the single-column bound.
-func scanBounds(ranges []ClusterRange) (Bound, Bound) {
+// scanBounds converts first-column ranges into composite scan bounds
+// for a column family with clusterCols clustering columns. With a
+// single clustering column the bounds are exact, including an exclusive
+// lower bound for GT. With composite keys, a key sharing the bounded
+// first value extends beyond the single-column bound (CompareKeys sorts
+// the prefix first), so GT lower bounds stay inclusive at the prefix
+// and upper bounds are widened to open; matchRanges re-checks every
+// scanned record either way.
+func scanBounds(ranges []ClusterRange, clusterCols int) (Bound, Bound) {
 	var from, to Bound
+	single := clusterCols == 1
 	for _, r := range ranges {
 		switch r.Op {
-		case GT, GE:
+		case GT:
+			from = Bound{Key: []Value{r.Value}, Inclusive: !single}
+		case GE:
 			from = Bound{Key: []Value{r.Value}, Inclusive: true}
-		case LT, LE:
-			to = Bound{} // widened: checked by matchRanges
+		case LT:
+			if single {
+				to = Bound{Key: []Value{r.Value}, Inclusive: false}
+			} else {
+				to = Bound{} // widened: checked by matchRanges
+			}
+		case LE:
+			if single {
+				to = Bound{Key: []Value{r.Value}, Inclusive: true}
+			} else {
+				to = Bound{} // widened: checked by matchRanges
+			}
 		}
 	}
 	return from, to

@@ -88,7 +88,11 @@ func Recommend(w *workload.Workload, pool *enumerator.Pool, m cost.Model, cfg pl
 			return nil, fmt.Errorf("baselines: query %q not answerable by the schema: %w", workload.Label(q), err)
 		}
 		plan := space.Best(nil)
-		rec.Queries = append(rec.Queries, &search.QueryRecommendation{Statement: ws, Plan: plan})
+		// Every pool family is installed, so the whole plan space is
+		// executable and doubles as the failover ranking.
+		rec.Queries = append(rec.Queries, &search.QueryRecommendation{
+			Statement: ws, Plan: plan, Alternatives: space.Plans,
+		})
 		rec.Cost += w.Weight(ws) * plan.Cost
 	}
 

@@ -36,23 +36,40 @@ type Result struct {
 	SimMillis float64
 }
 
-// Executor executes plans against one store.
+// Executor executes plans against one store — any backend.KVBackend,
+// including a fault-injecting wrapper from internal/faults.
 type Executor struct {
-	store *backend.Store
-	lat   cost.Params
+	store   backend.KVBackend
+	lat     cost.Params
+	retry   RetryPolicy
+	metrics *Metrics
 }
 
 // New returns an executor over the store, charging client-side work
-// with the same coefficients as the advisor's cost model.
-func New(store *backend.Store, lat cost.Params) *Executor {
-	return &Executor{store: store, lat: lat}
+// with the same coefficients as the advisor's cost model. Operations
+// are not retried; use NewRetrying against a faulty backend.
+func New(store backend.KVBackend, lat cost.Params) *Executor {
+	return NewRetrying(store, lat, RetryPolicy{})
 }
 
+// NewRetrying returns an executor that retries retryable faults under
+// the given policy, charging wasted attempts and backoff into each
+// statement's simulated time.
+func NewRetrying(store backend.KVBackend, lat cost.Params, policy RetryPolicy) *Executor {
+	return &Executor{store: store, lat: lat, retry: policy.normalized(), metrics: &Metrics{}}
+}
+
+// Metrics returns a snapshot of the executor's retry counters.
+func (e *Executor) Metrics() MetricsSnapshot { return e.metrics.Snapshot() }
+
 // ExecuteQuery runs a query plan with the given parameter bindings.
+// On error the returned result, when non-nil, carries the simulated
+// time consumed before the failure so callers can charge partial work
+// (e.g. a failed plan attempt before failing over to another plan).
 func (e *Executor) ExecuteQuery(plan *planner.Plan, params Params) (*Result, error) {
-	res, err := e.run(plan.Steps, params, []Tuple{{}})
+	res, err := e.run(plan.Steps, params, []Tuple{{}}, &stmtBudget{})
 	if err != nil {
-		return nil, fmt.Errorf("executor: query %q: %w", workload.Label(plan.Query), err)
+		return res, fmt.Errorf("executor: query %q: %w", workload.Label(plan.Query), err)
 	}
 	// Project to the selected attributes and discard duplicates
 	// (paper §IV-B step 3).
@@ -60,26 +77,27 @@ func (e *Executor) ExecuteQuery(plan *planner.Plan, params Params) (*Result, err
 	return res, nil
 }
 
-// run executes a step sequence over seed tuples.
-func (e *Executor) run(steps []planner.Step, params Params, seeds []Tuple) (*Result, error) {
+// run executes a step sequence over seed tuples. On error the returned
+// result carries the simulated time consumed so far (and no rows).
+func (e *Executor) run(steps []planner.Step, params Params, seeds []Tuple, bgt *stmtBudget) (*Result, error) {
 	tuples := seeds
 	sim := 0.0
 	for _, st := range steps {
 		switch s := st.(type) {
 		case *planner.LookupStep:
-			next, millis, err := e.lookup(s, params, tuples)
+			next, millis, err := e.lookup(s, params, tuples, bgt)
+			sim += millis
 			if err != nil {
-				return nil, err
+				return &Result{SimMillis: sim}, err
 			}
 			tuples = next
-			sim += millis
 		case *planner.FilterStep:
 			sim += e.lat.FilterRowCost * float64(len(tuples))
 			kept := tuples[:0:0]
 			for _, t := range tuples {
 				ok, err := evalPredicates(s.Predicates, t, params)
 				if err != nil {
-					return nil, err
+					return &Result{SimMillis: sim}, err
 				}
 				if ok {
 					kept = append(kept, t)
@@ -97,15 +115,17 @@ func (e *Executor) run(steps []planner.Step, params Params, seeds []Tuple) (*Res
 				tuples = tuples[:s.N]
 			}
 		default:
-			return nil, fmt.Errorf("unknown step %T", st)
+			return &Result{SimMillis: sim}, fmt.Errorf("unknown step %T", st)
 		}
 	}
 	return &Result{Rows: tuples, SimMillis: sim}, nil
 }
 
 // lookup executes one LookupStep: one get per driving tuple, merging
-// fetched records into the driving tuples.
-func (e *Executor) lookup(s *planner.LookupStep, params Params, driving []Tuple) ([]Tuple, float64, error) {
+// fetched records into the driving tuples. The returned millis are
+// meaningful even on error: they carry the simulated time of the gets
+// completed plus any retry spend of the failed one.
+func (e *Executor) lookup(s *planner.LookupStep, params Params, driving []Tuple, bgt *stmtBudget) ([]Tuple, float64, error) {
 	def, err := e.store.Def(s.Index.Name)
 	if err != nil {
 		return nil, 0, err
@@ -143,7 +163,7 @@ func (e *Executor) lookup(s *planner.LookupStep, params Params, driving []Tuple)
 			case col == joinCol:
 				v, ok := t[col]
 				if !ok {
-					return nil, 0, fmt.Errorf("driving tuple lacks join key %s", col)
+					return nil, sim, fmt.Errorf("driving tuple lacks join key %s", col)
 				}
 				partition[i] = v
 			default:
@@ -155,20 +175,28 @@ func (e *Executor) lookup(s *planner.LookupStep, params Params, driving []Tuple)
 				}
 				v, ok := t[col]
 				if !ok {
-					return nil, 0, fmt.Errorf("no binding for partition column %s of %s", col, s.Index.Name)
+					return nil, sim, fmt.Errorf("no binding for partition column %s of %s", col, s.Index.Name)
 				}
 				partition[i] = v
 			}
 		}
-		res, err := e.store.Get(s.Index.Name, backend.GetRequest{
-			Partition: partition,
-			Ranges:    ranges,
-			Limit:     s.Limit,
+		var res *backend.GetResult
+		millis, err := e.retryOp(bgt, s.Index.Name, func() (float64, error) {
+			var err error
+			res, err = e.store.Get(s.Index.Name, backend.GetRequest{
+				Partition: partition,
+				Ranges:    ranges,
+				Limit:     s.Limit,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.SimMillis, nil
 		})
+		sim += millis
 		if err != nil {
-			return nil, 0, err
+			return nil, sim, err
 		}
-		sim += res.SimMillis
 		for _, rec := range res.Records {
 			merged := make(Tuple, len(t)+len(def.PartitionCols)+len(rec.Clustering)+len(rec.Values))
 			for k, v := range t {
@@ -336,7 +364,8 @@ func (e *Executor) ExecuteUpdate(ur *search.UpdateRecommendation, params Params)
 
 // ExecuteWrite runs all maintenance of one statement execution across
 // its column families: all support queries first, then all deletes and
-// puts.
+// puts. On error the returned result, when non-nil, carries the
+// simulated time consumed before the failure.
 func (e *Executor) ExecuteWrite(urs []*search.UpdateRecommendation, params Params) (*Result, error) {
 	type pending struct {
 		ur                 *search.UpdateRecommendation
@@ -344,6 +373,7 @@ func (e *Executor) ExecuteWrite(urs []*search.UpdateRecommendation, params Param
 		overrides          Tuple
 		doDelete, doInsert bool
 	}
+	bgt := &stmtBudget{}
 	sim := 0.0
 	var last []Tuple
 	staged := make([]pending, 0, len(urs))
@@ -351,15 +381,17 @@ func (e *Executor) ExecuteWrite(urs []*search.UpdateRecommendation, params Param
 		stmt := ur.Plan.Statement
 		seeds, overrides, doDelete, doInsert, err := e.updateContext(stmt, params)
 		if err != nil {
-			return nil, err
+			return &Result{SimMillis: sim}, err
 		}
 		tuples := seeds
 		for _, sp := range ur.SupportPlans {
-			res, err := e.run(sp.Steps, params, tuples)
-			if err != nil {
-				return nil, fmt.Errorf("executor: support query for %q: %w", workload.Label(stmt), err)
+			res, err := e.run(sp.Steps, params, tuples, bgt)
+			if res != nil {
+				sim += res.SimMillis
 			}
-			sim += res.SimMillis
+			if err != nil {
+				return &Result{SimMillis: sim}, fmt.Errorf("executor: support query for %q: %w", workload.Label(stmt), err)
+			}
 			tuples = res.Rows
 		}
 		staged = append(staged, pending{
@@ -370,28 +402,35 @@ func (e *Executor) ExecuteWrite(urs []*search.UpdateRecommendation, params Param
 	}
 
 	for _, p := range staged {
-		millis, err := e.applyWrites(p.ur, p.tuples, p.overrides, p.doDelete, p.doInsert)
-		if err != nil {
-			return nil, err
-		}
+		millis, err := e.applyWrites(p.ur, p.tuples, p.overrides, p.doDelete, p.doInsert, bgt)
 		sim += millis
+		if err != nil {
+			return &Result{SimMillis: sim}, err
+		}
 	}
 	return &Result{Rows: last, SimMillis: sim}, nil
 }
 
 // applyWrites issues the delete and put requests for one maintained
-// column family given its context tuples.
-func (e *Executor) applyWrites(ur *search.UpdateRecommendation, tuples []Tuple, overrides Tuple, doDelete, doInsert bool) (float64, error) {
+// column family given its context tuples. The returned millis are
+// meaningful even on error.
+func (e *Executor) applyWrites(ur *search.UpdateRecommendation, tuples []Tuple, overrides Tuple, doDelete, doInsert bool, bgt *stmtBudget) (float64, error) {
 	sim := 0.0
 	x := ur.Plan.Index
 	for _, t := range tuples {
 		if doDelete {
 			partition, clustering := recordKey(x, t, nil)
-			_, pr, err := e.store.Delete(x.Name, partition, clustering)
+			millis, err := e.retryOp(bgt, x.Name, func() (float64, error) {
+				_, pr, err := e.store.Delete(x.Name, partition, clustering)
+				if err != nil {
+					return 0, err
+				}
+				return pr.SimMillis, nil
+			})
+			sim += millis
 			if err != nil {
-				return 0, err
+				return sim, err
 			}
-			sim += pr.SimMillis
 		}
 		if doInsert {
 			partition, clustering := recordKey(x, t, overrides)
@@ -399,11 +438,17 @@ func (e *Executor) applyWrites(ur *search.UpdateRecommendation, tuples []Tuple, 
 			for i, a := range x.Values {
 				values[i] = valueOf(t, a, overrides)
 			}
-			pr, err := e.store.Put(x.Name, partition, clustering, values)
+			millis, err := e.retryOp(bgt, x.Name, func() (float64, error) {
+				pr, err := e.store.Put(x.Name, partition, clustering, values)
+				if err != nil {
+					return 0, err
+				}
+				return pr.SimMillis, nil
+			})
+			sim += millis
 			if err != nil {
-				return 0, err
+				return sim, err
 			}
-			sim += pr.SimMillis
 		}
 	}
 	return sim, nil

@@ -1,0 +1,174 @@
+package executor
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"nose/internal/cost"
+	"nose/internal/faults"
+)
+
+// retryingExecutor builds an executor for retry tests, which drive
+// retryOp with closures and never touch a store.
+func retryingExecutor(p RetryPolicy) *Executor {
+	return NewRetrying(nil, cost.Params{}, p)
+}
+
+func TestRetryOpSuccessFirstTry(t *testing.T) {
+	e := retryingExecutor(DefaultRetryPolicy())
+	total, err := e.retryOp(&stmtBudget{}, "cf", func() (float64, error) { return 1.5, nil })
+	if err != nil || total != 1.5 {
+		t.Fatalf("total=%v err=%v, want 1.5, nil", total, err)
+	}
+	if m := e.Metrics(); m.Retries != 0 || m.WastedMillis != 0 {
+		t.Errorf("unexpected metrics %+v", m)
+	}
+}
+
+func TestRetryOpTransientThenSuccess(t *testing.T) {
+	e := retryingExecutor(DefaultRetryPolicy())
+	fails := 2
+	total, err := e.retryOp(&stmtBudget{}, "cf", func() (float64, error) {
+		if fails > 0 {
+			fails--
+			return 0, &faults.Error{Kind: faults.Transient, CF: "cf", Op: "get", SimMillis: 0.5}
+		}
+		return 2.0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total = op time + 2 wasted transients + 2 backoff waits.
+	if total <= 2.0+2*0.5 {
+		t.Errorf("total %v does not include backoff", total)
+	}
+	m := e.Metrics()
+	if m.Retries != 2 {
+		t.Errorf("retries = %d, want 2", m.Retries)
+	}
+	if m.WastedMillis != 1.0 {
+		t.Errorf("wasted = %v, want 1.0", m.WastedMillis)
+	}
+	if m.BackoffMillis <= 0 {
+		t.Error("no backoff charged")
+	}
+}
+
+func TestRetryOpDeterministic(t *testing.T) {
+	run := func() float64 {
+		e := retryingExecutor(DefaultRetryPolicy())
+		fails := 3
+		total, err := e.retryOp(&stmtBudget{}, "cf", func() (float64, error) {
+			if fails > 0 {
+				fails--
+				return 0, &faults.Error{Kind: faults.Timeout, CF: "cf", Op: "get", SimMillis: 50}
+			}
+			return 1.0, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return total
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same inputs gave different totals: %v vs %v", a, b)
+	}
+}
+
+func TestRetryOpNonRetryable(t *testing.T) {
+	e := retryingExecutor(DefaultRetryPolicy())
+
+	calls := 0
+	boom := errors.New("arity mismatch")
+	_, err := e.retryOp(&stmtBudget{}, "cf", func() (float64, error) {
+		calls++
+		return 0, boom
+	})
+	if !errors.Is(err, boom) || calls != 1 {
+		t.Errorf("plain error: calls=%d err=%v, want 1 call, passthrough", calls, err)
+	}
+
+	calls = 0
+	_, err = e.retryOp(&stmtBudget{}, "cf", func() (float64, error) {
+		calls++
+		return 0, &faults.Error{Kind: faults.Unavailable, CF: "cf", Op: "get"}
+	})
+	fe, ok := faults.AsFault(err)
+	if !ok || fe.Kind != faults.Unavailable || calls != 1 {
+		t.Errorf("unavailable: calls=%d err=%v, want 1 call, unavailable fault", calls, err)
+	}
+}
+
+func TestRetryOpExhaustsAttempts(t *testing.T) {
+	p := DefaultRetryPolicy()
+	p.MaxAttempts = 3
+	e := retryingExecutor(p)
+	calls := 0
+	total, err := e.retryOp(&stmtBudget{}, "cf", func() (float64, error) {
+		calls++
+		return 0, &faults.Error{Kind: faults.Transient, CF: "cf", Op: "get", SimMillis: 0.5}
+	})
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	if err == nil || !strings.Contains(err.Error(), "retries exhausted") {
+		t.Errorf("err = %v, want retries exhausted", err)
+	}
+	if !faults.Retryable(err) {
+		// The wrapped fault stays classifiable so callers can still
+		// distinguish weather from bugs.
+		t.Error("exhausted error lost its fault classification")
+	}
+	if total < 1.5 {
+		t.Errorf("total %v does not charge the wasted attempts", total)
+	}
+	if m := e.Metrics(); m.Exhausted != 1 || m.Retries != 2 {
+		t.Errorf("metrics %+v, want 1 exhausted, 2 retries", m)
+	}
+}
+
+func TestRetryOpBudget(t *testing.T) {
+	p := DefaultRetryPolicy()
+	p.MaxAttempts = 100
+	p.BudgetMillis = 60
+	e := retryingExecutor(p)
+	bgt := &stmtBudget{}
+	_, err := e.retryOp(bgt, "cf", func() (float64, error) {
+		return 0, &faults.Error{Kind: faults.Timeout, CF: "cf", Op: "get", SimMillis: 50}
+	})
+	if err == nil || !strings.Contains(err.Error(), "retry budget") {
+		t.Errorf("err = %v, want retry budget exhausted", err)
+	}
+	// The budget persists across operations of the same statement: a
+	// second op on the same budget gives up immediately.
+	calls := 0
+	_, err = e.retryOp(bgt, "cf", func() (float64, error) {
+		calls++
+		return 0, &faults.Error{Kind: faults.Timeout, CF: "cf", Op: "get", SimMillis: 50}
+	})
+	if calls != 1 || err == nil {
+		t.Errorf("second op: calls=%d err=%v, want immediate give-up", calls, err)
+	}
+}
+
+func TestBackoffCapAndJitterBounds(t *testing.T) {
+	p := DefaultRetryPolicy().normalized()
+	for attempt := 0; attempt < 12; attempt++ {
+		b := p.backoffFor("some.cf", attempt, int64(attempt*7))
+		if b > p.MaxBackoffMillis {
+			t.Errorf("attempt %d: backoff %v above cap %v", attempt, b, p.MaxBackoffMillis)
+		}
+		if b < p.BaseBackoffMillis/2 {
+			t.Errorf("attempt %d: backoff %v below half base", attempt, b)
+		}
+	}
+	// Deterministic: same inputs, same wait.
+	if p.backoffFor("cf", 2, 5) != p.backoffFor("cf", 2, 5) {
+		t.Error("backoff not deterministic")
+	}
+	// Jitter varies across operations.
+	if p.backoffFor("cf", 2, 5) == p.backoffFor("cf", 2, 6) {
+		t.Error("jitter did not vary with the operation counter")
+	}
+}

@@ -1,6 +1,8 @@
 package experiments_test
 
 import (
+	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -56,6 +58,104 @@ func TestRunFig11TinyScale(t *testing.T) {
 	if res.WeightedAvg["NoSE"] > res.WeightedAvg["Normalized"] {
 		t.Errorf("NoSE (%.3f) slower than normalized (%.3f) on bidding mix",
 			res.WeightedAvg["NoSE"], res.WeightedAvg["Normalized"])
+	}
+}
+
+func TestRunChaosDeterministicSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow")
+	}
+	cfg := experiments.ChaosConfig{
+		Base: experiments.Fig11Config{
+			RUBiS:      rubis.Config{Users: 200, Seed: 1},
+			Executions: 3,
+			Advisor:    fastOptions(),
+		},
+		Rates: []float64{0, 0.02},
+		Seed:  7,
+	}
+	res, err := experiments.RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+
+	// Rate 0 must be indistinguishable from the unfaulted harness: no
+	// retries, no failovers, nothing injected, nothing lost.
+	healthy := res.Rows[0]
+	for _, name := range experiments.SystemNames {
+		c := healthy.Cells[name]
+		if c.Unavailable != 0 || c.Report.Retries != 0 || c.Report.Failovers != 0 ||
+			c.Report.Injected.Ops != 0 {
+			t.Errorf("rate 0 on %s not clean: %+v", name, c.Report)
+		}
+		if c.Completed == 0 || c.AvgMillis <= 0 {
+			t.Errorf("rate 0 on %s completed nothing", name)
+		}
+	}
+
+	// At a nonzero rate the injector must have fired and the systems
+	// must have paid for it (retries or failovers or losses).
+	faulted := res.Rows[1]
+	for _, name := range experiments.SystemNames {
+		c := faulted.Cells[name]
+		if c.Report.Injected.Ops == 0 {
+			t.Errorf("rate 0.02 on %s: injector saw no operations", name)
+		}
+		work := c.Report.Retries + c.Report.Failovers + c.Unavailable
+		if c.Report.Injected.Transients+c.Report.Injected.Timeouts+c.Report.Injected.Unavailables > 0 && work == 0 {
+			t.Errorf("rate 0.02 on %s: faults injected but no degradation recorded: %+v", name, c.Report)
+		}
+	}
+
+	// Identical config and seed must reproduce the sweep bit for bit.
+	again, err := experiments.RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, again) {
+		t.Error("same seed produced a different sweep")
+	}
+
+	out := res.Format()
+	if !strings.Contains(out, "Unavailable") || !strings.Contains(out, "NoSE") {
+		t.Errorf("format output incomplete:\n%s", out)
+	}
+}
+
+// TestChaosRateZeroMatchesFig11 cross-checks the two experiment paths:
+// with no faults enabled, the chaos sweep's average response time must
+// equal the mean of Fig. 11's per-transaction averages (they execute
+// the exact same statement sequence).
+func TestChaosRateZeroMatchesFig11(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow")
+	}
+	base := experiments.Fig11Config{
+		RUBiS:      rubis.Config{Users: 200, Seed: 1},
+		Executions: 3,
+		Advisor:    fastOptions(),
+	}
+	chaos, err := experiments.RunChaos(experiments.ChaosConfig{Base: base, Rates: []float64{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig11, err := experiments.RunFig11(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range experiments.SystemNames {
+		mean := 0.0
+		for _, row := range fig11.Rows {
+			mean += row.Millis[name]
+		}
+		mean /= float64(len(fig11.Rows))
+		got := chaos.Rows[0].Cells[name].AvgMillis
+		if math.Abs(got-mean) > 1e-9*math.Max(1, mean) {
+			t.Errorf("%s: chaos rate-0 avg %.9f != fig11 mean %.9f", name, got, mean)
+		}
 	}
 }
 

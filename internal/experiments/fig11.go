@@ -61,9 +61,11 @@ type Fig11Config struct {
 	Advisor search.Options
 }
 
-// buildSystems generates the dataset once and installs the three
-// schemas, returning them in SystemNames order.
-func buildSystems(cfg Fig11Config) (*backend.Dataset, []*rubis.Transaction, []*harness.System, error) {
+// buildRecommendations generates the dataset and derives the three
+// schemas' recommendations — the expensive, fault-independent half of
+// system construction. Chaos sweeps reuse one set of recommendations
+// across many fault rates.
+func buildRecommendations(cfg Fig11Config) (*backend.Dataset, []*rubis.Transaction, map[string]*search.Recommendation, error) {
 	ds, err := rubis.Generate(cfg.RUBiS)
 	if err != nil {
 		return nil, nil, nil, err
@@ -101,13 +103,35 @@ func buildSystems(cfg Fig11Config) (*backend.Dataset, []*rubis.Transaction, []*h
 	recs := map[string]*search.Recommendation{
 		"NoSE": noseRec, "Normalized": normRec, "Expert": expRec,
 	}
+	return ds, txns, recs, nil
+}
+
+// installSystems loads each recommendation into a fresh store,
+// returning the systems in SystemNames order. Fresh stores per call
+// keep repeated runs (e.g. one per fault rate) independent of earlier
+// runs' mutations.
+func installSystems(ds *backend.Dataset, recs map[string]*search.Recommendation) ([]*harness.System, error) {
 	var systems []*harness.System
 	for _, name := range SystemNames {
 		sys, err := harness.NewSystem(name, ds, recs[name], cost.DefaultParams())
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, err
 		}
 		systems = append(systems, sys)
+	}
+	return systems, nil
+}
+
+// buildSystems generates the dataset once and installs the three
+// schemas, returning them in SystemNames order.
+func buildSystems(cfg Fig11Config) (*backend.Dataset, []*rubis.Transaction, []*harness.System, error) {
+	ds, txns, recs, err := buildRecommendations(cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	systems, err := installSystems(ds, recs)
+	if err != nil {
+		return nil, nil, nil, err
 	}
 	return ds, txns, systems, nil
 }

@@ -3,18 +3,37 @@
 // whole transactions against it while accounting simulated response
 // time. The evaluation harnesses for paper Figs. 11 and 12 run one
 // System per schema under comparison.
+//
+// A System also implements graceful degradation: it keeps every
+// query's ranked alternative plans (the planner retains up to
+// MaxPlansPerQuery of them), and when a column family is down — marked
+// explicitly with MarkDown or discovered through injected faults — it
+// fails over to the cheapest surviving plan that avoids the family.
+// Statements with no surviving plan fail with ErrUnavailable rather
+// than an opaque error, and every retry, failover and unavailability is
+// counted in the system's RobustnessReport.
 package harness
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 
 	"nose/internal/backend"
 	"nose/internal/cost"
 	"nose/internal/executor"
+	"nose/internal/faults"
 	"nose/internal/planner"
 	"nose/internal/search"
 	"nose/internal/workload"
 )
+
+// ErrUnavailable reports that no surviving plan can answer a statement:
+// every alternative touches a column family that is down, or a write's
+// maintained family is unreachable. It is the explicit degraded-mode
+// outcome — callers can detect it with errors.Is and keep serving the
+// rest of the workload.
+var ErrUnavailable = errors.New("statement unavailable: no surviving plan")
 
 // System is one installed schema with its recommended plans.
 type System struct {
@@ -24,11 +43,23 @@ type System struct {
 	Rec *search.Recommendation
 	// Store holds the installed column families.
 	Store *backend.Store
-	// Exec executes plans against Store.
+	// Exec executes plans against Store (or against the fault injector
+	// once EnableFaults has wrapped it).
 	Exec *executor.Executor
 
+	lat        cost.Params
 	queryPlans map[workload.Statement]*planner.Plan
-	writeRecs  map[workload.Statement][]*search.UpdateRecommendation
+	// planLists ranks each query's executable plans for failover: the
+	// recommended plan first, then the remaining alternatives cheapest
+	// first.
+	planLists map[workload.Statement][]*planner.Plan
+	writeRecs map[workload.Statement][]*search.UpdateRecommendation
+
+	inj *faults.Injector
+
+	mu     sync.Mutex
+	down   map[string]bool
+	robust robustCounters
 }
 
 // NewSystem installs a recommendation's schema into a fresh store,
@@ -45,11 +76,21 @@ func NewSystem(name string, ds *backend.Dataset, rec *search.Recommendation, lat
 		Rec:        rec,
 		Store:      store,
 		Exec:       executor.New(store, lat),
+		lat:        lat,
 		queryPlans: map[workload.Statement]*planner.Plan{},
+		planLists:  map[workload.Statement][]*planner.Plan{},
 		writeRecs:  map[workload.Statement][]*search.UpdateRecommendation{},
+		down:       map[string]bool{},
 	}
 	for _, qr := range rec.Queries {
 		s.queryPlans[qr.Statement.Statement] = qr.Plan
+		list := []*planner.Plan{qr.Plan}
+		for _, p := range qr.Alternatives {
+			if p != qr.Plan {
+				list = append(list, p)
+			}
+		}
+		s.planLists[qr.Statement.Statement] = list
 	}
 	for _, ur := range rec.Updates {
 		st := ur.Statement.Statement
@@ -58,22 +99,94 @@ func NewSystem(name string, ds *backend.Dataset, rec *search.Recommendation, lat
 	return s, nil
 }
 
+// EnableFaults interposes a deterministic fault injector between the
+// executor and the store and switches execution to the retrying
+// executor. It returns the injector so callers can set per-family
+// profiles or mark families down. Call before executing statements.
+func (s *System) EnableFaults(seed int64, def faults.Profile, policy executor.RetryPolicy) *faults.Injector {
+	inj := faults.New(s.Store, seed)
+	inj.SetDefaultProfile(def)
+	s.inj = inj
+	s.Exec = executor.NewRetrying(inj, s.lat, policy)
+	return inj
+}
+
+// MarkDown takes a column family out of service: query plans touching
+// it are skipped in favor of surviving alternatives, and (when faults
+// are enabled) operations against it fail Unavailable.
+func (s *System) MarkDown(cf string) {
+	s.mu.Lock()
+	s.down[cf] = true
+	s.mu.Unlock()
+	if s.inj != nil {
+		s.inj.MarkDown(cf)
+	}
+}
+
+// MarkUp returns a column family to service.
+func (s *System) MarkUp(cf string) {
+	s.mu.Lock()
+	delete(s.down, cf)
+	s.mu.Unlock()
+	if s.inj != nil {
+		s.inj.MarkUp(cf)
+	}
+}
+
+// downSnapshot copies the down set for one statement execution.
+func (s *System) downSnapshot() map[string]bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	avoid := make(map[string]bool, len(s.down))
+	for cf := range s.down {
+		avoid[cf] = true
+	}
+	return avoid
+}
+
+// planSurvives reports whether a plan touches none of the avoided
+// column families.
+func planSurvives(p *planner.Plan, avoid map[string]bool) bool {
+	for _, x := range p.Indexes() {
+		if avoid[x.Name] {
+			return false
+		}
+	}
+	return true
+}
+
+// pickPlan returns the best untried plan avoiding the down families,
+// plus the number of plans it disqualified on the way — each one is a
+// failover away from the preferred plan. Disqualified plans are added
+// to tried so repeated picks within one statement never recount them
+// (the avoid set only grows).
+func pickPlan(plans []*planner.Plan, avoid map[string]bool, tried map[*planner.Plan]bool) (*planner.Plan, int64) {
+	skipped := int64(0)
+	for _, p := range plans {
+		if tried[p] {
+			continue
+		}
+		if !planSurvives(p, avoid) {
+			tried[p] = true
+			skipped++
+			continue
+		}
+		return p, skipped
+	}
+	return nil, skipped
+}
+
 // ExecStatement executes one workload statement with the given
 // parameters, returning the simulated response time in milliseconds.
+// On error the returned time still carries the simulated work consumed
+// (failed plan attempts, retries, backoff), so degraded executions are
+// costed rather than hidden.
 func (s *System) ExecStatement(st workload.Statement, params executor.Params) (float64, error) {
-	if plan, ok := s.queryPlans[st]; ok {
-		res, err := s.Exec.ExecuteQuery(plan, params)
-		if err != nil {
-			return 0, err
-		}
-		return res.SimMillis, nil
+	if plans, ok := s.planLists[st]; ok {
+		return s.execQuery(st, plans, params)
 	}
 	if urs, ok := s.writeRecs[st]; ok {
-		res, err := s.Exec.ExecuteWrite(urs, params)
-		if err != nil {
-			return 0, err
-		}
-		return res.SimMillis, nil
+		return s.execWrite(st, urs, params)
 	}
 	// A write statement that maintains no column family of this schema
 	// costs nothing here.
@@ -83,16 +196,82 @@ func (s *System) ExecStatement(st workload.Statement, params executor.Params) (f
 	return 0, fmt.Errorf("harness: system %s has no plan for statement %q", s.Name, workload.Label(st))
 }
 
+// execQuery runs a query with plan-level failover: each plan attempt
+// that dies on a surviving fault disqualifies the fault's column family
+// and reroutes to the cheapest remaining plan that avoids every down
+// family.
+func (s *System) execQuery(st workload.Statement, plans []*planner.Plan, params executor.Params) (float64, error) {
+	retries0 := s.Exec.Metrics().Retries
+	avoid := s.downSnapshot()
+	tried := map[*planner.Plan]bool{}
+	total := 0.0
+	failovers := int64(0)
+	for {
+		plan, skipped := pickPlan(plans, avoid, tried)
+		failovers += skipped
+		if plan == nil {
+			s.robust.record(total, failovers, true, false)
+			return total, fmt.Errorf("harness: %s: query %q: %w", s.Name, workload.Label(st), ErrUnavailable)
+		}
+		res, err := s.Exec.ExecuteQuery(plan, params)
+		if res != nil {
+			total += res.SimMillis
+		}
+		if err == nil {
+			degraded := failovers > 0 || s.Exec.Metrics().Retries > retries0
+			s.robust.record(total, failovers, false, degraded)
+			return total, nil
+		}
+		fe, ok := faults.AsFault(err)
+		if !ok {
+			// Not store weather: a bug or a validation failure.
+			s.robust.record(total, failovers, false, failovers > 0)
+			return total, err
+		}
+		// The fault survived the executor's retries (or is an outright
+		// unavailability): take the family out of this execution's
+		// rotation and fail over.
+		tried[plan] = true
+		avoid[fe.CF] = true
+		failovers++
+	}
+}
+
+// execWrite runs a write statement's maintenance. Writes have no
+// alternative plans — each maintained column family must be written —
+// so a surviving fault degrades to ErrUnavailable instead of failing
+// over.
+func (s *System) execWrite(st workload.Statement, urs []*search.UpdateRecommendation, params executor.Params) (float64, error) {
+	retries0 := s.Exec.Metrics().Retries
+	res, err := s.Exec.ExecuteWrite(urs, params)
+	total := 0.0
+	if res != nil {
+		total = res.SimMillis
+	}
+	if err == nil {
+		s.robust.record(total, 0, false, s.Exec.Metrics().Retries > retries0)
+		return total, nil
+	}
+	if _, ok := faults.AsFault(err); ok {
+		s.robust.record(total, 0, true, false)
+		return total, fmt.Errorf("harness: %s: write %q: %w (%v)", s.Name, workload.Label(st), ErrUnavailable, err)
+	}
+	s.robust.record(total, 0, false, false)
+	return total, err
+}
+
 // ExecTransaction executes a group of statements as one user
-// transaction and returns the total simulated response time.
+// transaction and returns the total simulated response time. On error
+// the returned time carries the work consumed before (and during) the
+// failure.
 func (s *System) ExecTransaction(statements []workload.Statement, params executor.Params) (float64, error) {
 	total := 0.0
 	for _, st := range statements {
 		ms, err := s.ExecStatement(st, params)
-		if err != nil {
-			return 0, err
-		}
 		total += ms
+		if err != nil {
+			return total, err
+		}
 	}
 	return total, nil
 }

@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"nose/internal/faults"
+)
+
+// RobustnessReport aggregates everything a system endured while
+// serving under faults: the statement-level outcomes tracked by the
+// harness, the retry counters of the executor, and the raw fault
+// counts of the injector. It quantifies the graceful-degradation claim
+// the paper's cost model implies but never measures — index-redundant
+// schemas keep more statements answerable when column families fail.
+type RobustnessReport struct {
+	// Statements is the number of statement executions attempted.
+	Statements int64
+	// Failovers counts plan attempts abandoned for an alternative plan
+	// because a column family was down or kept faulting.
+	Failovers int64
+	// Unavailable counts statement executions that ended in
+	// ErrUnavailable: no surviving plan remained.
+	Unavailable int64
+	// DegradedStatements counts statements that completed but needed
+	// at least one retry or failover.
+	DegradedStatements int64
+	// DegradedMillis is the total simulated response time of those
+	// degraded statements — what serving through the weather cost.
+	DegradedMillis float64
+	// Retries, RetryExhausted, BackoffMillis and WastedMillis mirror
+	// the executor's retry counters.
+	Retries        int64
+	RetryExhausted int64
+	BackoffMillis  float64
+	WastedMillis   float64
+	// Injected reports the fault injector's raw counts; zero when
+	// faults were never enabled.
+	Injected faults.Counts
+}
+
+// String renders the report as a one-line summary.
+func (r RobustnessReport) String() string {
+	return fmt.Sprintf("%d statements: %d retries, %d failovers, %d unavailable, %d degraded (%.1f degraded ms)",
+		r.Statements, r.Retries, r.Failovers, r.Unavailable, r.DegradedStatements, r.DegradedMillis)
+}
+
+// robustCounters is the harness-level half of the report.
+type robustCounters struct {
+	mu                 sync.Mutex
+	statements         int64
+	failovers          int64
+	unavailable        int64
+	degradedStatements int64
+	degradedMillis     float64
+}
+
+// record books one statement execution's outcome.
+func (c *robustCounters) record(millis float64, failovers int64, unavailable, degraded bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.statements++
+	c.failovers += failovers
+	if unavailable {
+		c.unavailable++
+	}
+	if degraded || failovers > 0 {
+		c.degradedStatements++
+		c.degradedMillis += millis
+	}
+}
+
+// Robustness returns the system's cumulative robustness report.
+func (s *System) Robustness() RobustnessReport {
+	m := s.Exec.Metrics()
+	s.robust.mu.Lock()
+	r := RobustnessReport{
+		Statements:         s.robust.statements,
+		Failovers:          s.robust.failovers,
+		Unavailable:        s.robust.unavailable,
+		DegradedStatements: s.robust.degradedStatements,
+		DegradedMillis:     s.robust.degradedMillis,
+		Retries:            m.Retries,
+		RetryExhausted:     m.Exhausted,
+		BackoffMillis:      m.BackoffMillis,
+		WastedMillis:       m.WastedMillis,
+	}
+	s.robust.mu.Unlock()
+	if s.inj != nil {
+		r.Injected = s.inj.Counts()
+	}
+	return r
+}

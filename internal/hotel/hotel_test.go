@@ -1,0 +1,105 @@
+package hotel_test
+
+import (
+	"testing"
+
+	"nose/internal/hotel"
+	"nose/internal/model"
+	"nose/internal/workload"
+)
+
+// TestGraphStructure checks the hotel booking graph against paper
+// Fig. 1: the six entity sets, their key attributes and cardinalities,
+// and the five relationships with their directions.
+func TestGraphStructure(t *testing.T) {
+	g := hotel.Graph()
+
+	wantCards := map[string]int{
+		"Hotel": 100, "Room": 10_000, "Reservation": 250_000,
+		"Guest": 50_000, "POI": 1_000, "Amenity": 50,
+	}
+	if got := len(g.Entities()); got != len(wantCards) {
+		t.Fatalf("entities = %d, want %d", got, len(wantCards))
+	}
+	for name, card := range wantCards {
+		e := g.Entity(name)
+		if e == nil {
+			t.Fatalf("entity %s missing", name)
+		}
+		if e.Count != card {
+			t.Errorf("%s count = %d, want %d", name, e.Count, card)
+		}
+		if e.Key() == nil || !e.Key().IsKey() {
+			t.Errorf("%s has no key attribute", name)
+		}
+	}
+
+	// Every relationship endpoint named in the example statements must
+	// be traversable from its source entity.
+	edges := []struct{ from, edge, to string }{
+		{"Hotel", "Rooms", "Room"},
+		{"Room", "Hotel", "Hotel"},
+		{"Room", "Reservations", "Reservation"},
+		{"Reservation", "Room", "Room"},
+		{"Guest", "Reservations", "Reservation"},
+		{"Reservation", "Guest", "Guest"},
+		{"Hotel", "PointsOfInterest", "POI"},
+		{"POI", "Hotels", "Hotel"},
+		{"Room", "Amenities", "Amenity"},
+		{"Amenity", "Rooms", "Room"},
+	}
+	for _, want := range edges {
+		e := g.Entity(want.from)
+		var found *model.Edge
+		for _, ed := range e.Edges() {
+			if ed.Name == want.edge {
+				found = ed
+				break
+			}
+		}
+		if found == nil {
+			t.Errorf("%s has no edge %s", want.from, want.edge)
+			continue
+		}
+		if found.To.Name != want.to {
+			t.Errorf("%s.%s leads to %s, want %s", want.from, want.edge, found.To.Name, want.to)
+		}
+	}
+}
+
+// TestExampleStatementsParse checks that every example statement the
+// package exports parses against its own graph — the fixture must stay
+// self-consistent as the model or parser evolves.
+func TestExampleStatementsParse(t *testing.T) {
+	g := hotel.Graph()
+
+	for name, src := range map[string]string{
+		"ExampleQuery": hotel.ExampleQuery,
+		"PrefixQuery":  hotel.PrefixQuery,
+		"POIQuery":     hotel.POIQuery,
+	} {
+		q := workload.MustParseQuery(g, src)
+		if len(q.Select) == 0 {
+			t.Errorf("%s selects nothing", name)
+		}
+		if len(q.Where) == 0 {
+			t.Errorf("%s has no predicates", name)
+		}
+	}
+
+	// Fig. 3's query: two predicates over a three-relationship path.
+	q := workload.MustParseQuery(g, hotel.ExampleQuery)
+	if len(q.Where) != 2 {
+		t.Errorf("ExampleQuery predicates = %d, want 2", len(q.Where))
+	}
+	if q.Path.Len() != 4 {
+		t.Errorf("ExampleQuery path length = %d, want 4 (Guest→Reservation→Room→Hotel)", q.Path.Len())
+	}
+
+	for i, src := range hotel.UpdateStatements {
+		st := workload.MustParse(g, src)
+		if _, ok := st.(workload.WriteStatement); !ok {
+			t.Errorf("UpdateStatements[%d] parsed to %T, not a write statement", i, st)
+		}
+	}
+}

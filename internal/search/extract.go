@@ -99,7 +99,11 @@ func (b *builder) extract(res *bip.Result, refs *colRefs, rec *Recommendation) e
 	rec.Schema = sch
 
 	for _, qb := range b.queries {
-		rec.Queries = append(rec.Queries, &QueryRecommendation{Statement: qb.ws, Plan: perQuery[qb]})
+		rec.Queries = append(rec.Queries, &QueryRecommendation{
+			Statement:    qb.ws,
+			Plan:         perQuery[qb],
+			Alternatives: executablePlans(qb.space, selected, perQuery[qb]),
+		})
 	}
 	for _, ub := range b.updates {
 		for _, x := range ub.order {
@@ -125,6 +129,36 @@ func (b *builder) extract(res *bip.Result, refs *colRefs, rec *Recommendation) e
 		}
 	}
 	return nil
+}
+
+// executablePlans filters a query's plan space to the plans whose
+// column families are all installed in the recommended schema, keeping
+// the space's cheapest-first order. The chosen plan is guaranteed to be
+// present (prepended if the space somehow dropped it), so the harness
+// always has at least one alternative to execute.
+func executablePlans(space *planner.PlanSpace, installed map[string]bool, chosen *planner.Plan) []*planner.Plan {
+	var out []*planner.Plan
+	sawChosen := false
+	for _, p := range space.Plans {
+		ok := true
+		for _, x := range p.Indexes() {
+			if !installed[x.ID()] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if p == chosen {
+			sawChosen = true
+		}
+		out = append(out, p)
+	}
+	if !sawChosen && chosen != nil {
+		out = append([]*planner.Plan{chosen}, out...)
+	}
+	return out
 }
 
 func groupNeeds(g *supportGroup, x *schema.Index) bool {

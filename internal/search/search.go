@@ -79,6 +79,14 @@ type QueryRecommendation struct {
 	Statement *workload.WeightedStatement
 	// Plan is the recommended implementation plan.
 	Plan *planner.Plan
+	// Alternatives are every plan from the query's plan space that is
+	// executable against the recommended schema (all its column
+	// families are installed), cheapest first and including Plan. The
+	// harness uses them for plan-level failover when a column family is
+	// down: NoSE's index redundancy means a query often has several
+	// ways to be answered, and keeping the ranked survivors is what
+	// lets execution degrade gracefully instead of failing.
+	Alternatives []*planner.Plan
 }
 
 // UpdateRecommendation describes how one write statement maintains one
