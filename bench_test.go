@@ -159,6 +159,105 @@ func BenchmarkEnumerationRUBiS(b *testing.B) {
 	}
 }
 
+// rubisWorkload builds the standard RUBiS benchmark workload.
+func rubisWorkload(b *testing.B) *workload.Workload {
+	b.Helper()
+	w, _, err := rubis.Workload(rubis.Graph(rubis.DefaultConfig()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// workerCounts is the sweep used by the per-stage advisor benchmarks;
+// on a single-core host the higher counts measure coordination overhead
+// rather than speedup.
+var workerCounts = []int{1, 2, 4}
+
+// BenchmarkAdvisorEnumeration isolates candidate enumeration across
+// worker counts.
+func BenchmarkAdvisorEnumeration(b *testing.B) {
+	w := rubisWorkload(b)
+	for _, workers := range workerCounts {
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := enumerator.EnumerateWorkloadParallel(w, enumerator.Features{}, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAdvisorFormulation isolates plan-space generation and cost
+// estimation (the newBuilder stage) across worker counts: enumeration
+// runs once outside the timer, then each iteration replans the whole
+// workload. search.BuildPlans is the benchmark-only export of that
+// stage.
+func BenchmarkAdvisorFormulation(b *testing.B) {
+	w := rubisWorkload(b)
+	enumRes, err := enumerator.EnumerateWorkload(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range workerCounts {
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			opt := benchAdvisorOptions()
+			opt.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if err := search.BuildPlans(w, enumRes, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAdvisorSolve isolates the two BIP solve phases across worker
+// counts: the problem is planned and formulated once outside the timer
+// (search.Prepare), then each iteration re-runs the solves.
+func BenchmarkAdvisorSolve(b *testing.B) {
+	w := rubisWorkload(b)
+	enumRes, err := enumerator.EnumerateWorkload(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range workerCounts {
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			opt := benchAdvisorOptions()
+			opt.Workers = workers
+			prepared, err := search.Prepare(w, enumRes, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := prepared.Solve(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAdvisorWorkers runs the full advisor end to end across
+// worker counts (the tentpole before/after comparison; see
+// EXPERIMENTS.md).
+func BenchmarkAdvisorWorkers(b *testing.B) {
+	w := rubisWorkload(b)
+	for _, workers := range workerCounts {
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			opt := benchAdvisorOptions()
+			opt.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := search.Advise(w, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRandomWorkloadGeneration isolates the Fig. 13 workload
 // generator.
 func BenchmarkRandomWorkloadGeneration(b *testing.B) {

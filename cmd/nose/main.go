@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	nose -in workload.nose [-space bytes] [-mix name] [-max-plans n] [-faults] [-v]
+//	nose -in workload.nose [-space bytes] [-mix name] [-max-plans n] [-workers n] [-faults] [-v]
 //
 // With -faults the report includes each query's failover readiness:
 // how many executable alternative plans the recommended schema keeps,
@@ -30,6 +30,7 @@ func main() {
 	space := flag.Float64("space", 0, "optional storage budget in bytes")
 	mix := flag.String("mix", "", "workload mix to optimize for")
 	maxPlans := flag.Int("max-plans", planner.DefaultMaxPlansPerQuery, "plan space bound per query")
+	workers := flag.Int("workers", 0, "advisor worker goroutines; 0 means all CPUs (the recommendation is identical for every value)")
 	faultsReport := flag.Bool("faults", false, "print each query's failover readiness (executable alternative plans)")
 	verbose := flag.Bool("v", false, "print update maintenance plans and timings")
 	flag.Parse()
@@ -51,6 +52,7 @@ func main() {
 	}
 
 	rec, err := search.Advise(w, search.Options{
+		Workers:          *workers,
 		SpaceBudgetBytes: *space,
 		Planner:          planner.Config{MaxPlansPerQuery: *maxPlans},
 	})

@@ -6,6 +6,10 @@
 //	nosebench -experiment fig13 [-factors 5]
 //	nosebench -experiment chaos [-faults 0,0.005,0.02,0.05] [-fault-seed 7]
 //
+// Every experiment accepts -workers n to bound advisor parallelism
+// (0 uses all CPUs; results are identical for every value), and
+// -cpuprofile/-memprofile to write pprof profiles of the run.
+//
 // Fig. 11: per-transaction response times for the RUBiS bidding
 // workload on the NoSE, normalized, and expert schemas. Fig. 12:
 // weighted average response times across workload mixes. Fig. 13:
@@ -17,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -34,11 +40,40 @@ func main() {
 	factors := flag.Int("factors", 4, "max scale factor for fig13 (the paper used 10; factors above 3 can take tens of minutes with the built-in solver)")
 	maxPlans := flag.Int("max-plans", 24, "plan space bound per query for the advisor")
 	maxNodes := flag.Int("max-nodes", 500, "branch and bound node budget per solve")
+	workers := flag.Int("workers", 0, "advisor worker goroutines; 0 means all CPUs (results are identical for every value)")
 	faultRates := flag.String("faults", "", "comma-separated fault rates for the chaos experiment (default 0,0.005,0.02,0.05)")
 	faultSeed := flag.Int64("fault-seed", 7, "fault injector seed for the chaos experiment")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
 	opts := search.Options{
+		Workers:         *workers,
 		Planner:         planner.Config{MaxPlansPerQuery: *maxPlans},
 		MaxSupportPlans: 6,
 		BIP:             bip.Options{MaxNodes: *maxNodes},

@@ -2,12 +2,15 @@
 // designated variables must take values in {0, 1}. The solver is a
 // best-first branch and bound over LP relaxations (solved by
 // internal/lp), with a rounding heuristic to find incumbents early and
-// most-fractional branching.
+// most-fractional branching. Relaxations are solved by a pool of
+// workers over fixed-width node batches, so the search scales with
+// cores while its trajectory — and therefore the returned solution —
+// stays bit-identical for every worker count.
 //
 // NoSE's schema optimizer (paper §V) formulates column family selection
-// as such a program; the paper hands it to Gurobi, which has no pure-Go
-// counterpart, so this package provides the exact solver the advisor
-// needs.
+// as such a program; the paper hands it to Gurobi, whose parallel
+// branch and bound has no pure-Go counterpart, so this package provides
+// the exact solver the advisor needs.
 package bip
 
 import (
@@ -16,6 +19,7 @@ import (
 	"math"
 
 	"nose/internal/lp"
+	"nose/internal/par"
 )
 
 // Program is a 0-1 integer program under construction. It wraps an LP
@@ -99,10 +103,23 @@ type Options struct {
 	// re-optimized). A good warm start lets the search prune
 	// aggressively from the first node.
 	Incumbent []float64
+	// Workers is the number of goroutines solving LP relaxations
+	// concurrently; zero or negative means one. Nodes are expanded in
+	// fixed-width batches whose composition is independent of Workers,
+	// so the explored tree, incumbent, objective, and node count are
+	// bit-identical for every worker count.
+	Workers int
 }
 
 // DefaultMaxNodes bounds the search when Options leaves MaxNodes zero.
 const DefaultMaxNodes = 50_000
+
+// batchWidth is the number of nodes popped per expansion round. It is a
+// constant — never derived from Options.Workers — because the batch
+// composition determines the search trajectory: a fixed width is what
+// makes results worker-count invariant. Workers beyond batchWidth can
+// do no useful work and are capped.
+const batchWidth = 16
 
 // Result is the outcome of an integer solve.
 type Result struct {
@@ -130,13 +147,19 @@ type fix struct {
 // node is one branch and bound subproblem.
 type node struct {
 	bound float64
+	seq   int // creation order, the deterministic heap tie-break
 	fixes []fix
 }
 
 type nodeHeap []*node
 
-func (h nodeHeap) Len() int            { return len(h) }
-func (h nodeHeap) Less(i, j int) bool  { return h[i].bound < h[j].bound }
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound < h[j].bound
+	}
+	return h[i].seq < h[j].seq
+}
 func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
 func (h *nodeHeap) Pop() interface{} {
@@ -153,6 +176,24 @@ func (p *Program) Solve(opt Options) (*Result, error) {
 	if maxNodes <= 0 {
 		maxNodes = DefaultMaxNodes
 	}
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > batchWidth {
+		workers = batchWidth
+	}
+
+	// Each worker owns a clone of the LP and a reusable solver, so
+	// relaxations with different bound fixes solve concurrently with no
+	// shared mutable state. Worker 0's context also serves the serial
+	// parts (root, seeding, rounding heuristic).
+	probs := make([]*lp.Problem, workers)
+	solvers := make([]*lp.Solver, workers)
+	for w := range probs {
+		probs[w] = p.lp.Clone()
+		solvers[w] = lp.NewSolver()
+	}
 
 	res := &Result{Status: Optimal}
 	incumbent := math.Inf(1)
@@ -161,18 +202,20 @@ func (p *Program) Solve(opt Options) (*Result, error) {
 	tryIncumbent := func(x []float64, obj float64) {
 		if obj < incumbent-1e-9 {
 			incumbent = obj
-			incumbentX = append([]float64(nil), x...)
+			incumbentX = append(incumbentX[:0], x...)
 		}
 	}
 
-	// solveWith applies fixes, solves the relaxation, and reverts.
-	solveWith := func(fixes []fix) (*lp.Solution, error) {
+	// solveWith applies fixes on the worker's clone, solves the
+	// relaxation, and reverts.
+	solveWith := func(w int, fixes []fix) (*lp.Solution, error) {
+		prob := probs[w]
 		for _, f := range fixes {
-			p.lp.SetColBounds(f.col, f.val, f.val)
+			prob.SetColBounds(f.col, f.val, f.val)
 		}
-		sol, err := p.lp.Solve()
+		sol, err := solvers[w].Solve(prob)
 		for _, f := range fixes {
-			p.lp.SetColBounds(f.col, 0, 1)
+			prob.SetColBounds(f.col, 0, 1)
 		}
 		return sol, err
 	}
@@ -196,7 +239,7 @@ func (p *Program) Solve(opt Options) (*Result, error) {
 			}
 			rounded = append(rounded, fix{col: col, val: v})
 		}
-		sol, err := solveWith(rounded)
+		sol, err := solveWith(0, rounded)
 		if err != nil {
 			return err
 		}
@@ -208,6 +251,11 @@ func (p *Program) Solve(opt Options) (*Result, error) {
 
 	open := &nodeHeap{}
 	heap.Init(open)
+	seq := 0
+	push := func(bound float64, fixes []fix) {
+		seq++
+		heap.Push(open, &node{bound: bound, seq: seq, fixes: fixes})
+	}
 
 	// Validate and adopt the seeded incumbent, if any.
 	if len(opt.Incumbent) == p.NumCols() {
@@ -219,7 +267,7 @@ func (p *Program) Solve(opt Options) (*Result, error) {
 			}
 			fixes = append(fixes, fix{col: col, val: v})
 		}
-		sol, err := solveWith(fixes)
+		sol, err := solveWith(0, fixes)
 		if err != nil {
 			return nil, err
 		}
@@ -228,8 +276,7 @@ func (p *Program) Solve(opt Options) (*Result, error) {
 		}
 	}
 
-	root := &node{bound: math.Inf(-1)}
-	rootSol, err := solveWith(nil)
+	rootSol, err := solveWith(0, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -241,53 +288,74 @@ func (p *Program) Solve(opt Options) (*Result, error) {
 	case lp.IterationLimit:
 		return nil, fmt.Errorf("bip: relaxation hit the iteration limit")
 	}
-	root.bound = rootSol.Objective
 	if col := p.mostFractional(rootSol.X, nil); col == -1 {
 		tryIncumbent(rootSol.X, rootSol.Objective)
 	} else {
 		if err := roundAndRepair(rootSol.X, nil); err != nil {
 			return nil, err
 		}
-		heap.Push(open, root)
+		push(rootSol.Objective, nil)
 	}
+
+	// Expansion rounds: pop up to batchWidth admissible nodes, solve
+	// their relaxations in parallel, then branch in batch order. The
+	// incumbent is read during batch formation and updated only in the
+	// (sequential, deterministic) branching pass.
+	type batchItem struct {
+		nd  *node
+		num int // this node's 1-based exploration number
+		sol *lp.Solution
+		err error
+	}
+	batch := make([]batchItem, 0, batchWidth)
 
 	for open.Len() > 0 {
 		if res.Nodes >= maxNodes {
 			res.Status = NodeLimit
 			break
 		}
-		nd := heap.Pop(open).(*node)
-		if nd.bound >= incumbent-gapSlack(opt.Gap, incumbent) {
-			continue // bound-dominated
+		batch = batch[:0]
+		for open.Len() > 0 && len(batch) < batchWidth && res.Nodes < maxNodes {
+			nd := heap.Pop(open).(*node)
+			if nd.bound >= incumbent-gapSlack(opt.Gap, incumbent) {
+				continue // bound-dominated
+			}
+			res.Nodes++
+			batch = append(batch, batchItem{nd: nd, num: res.Nodes})
 		}
-		res.Nodes++
+		if len(batch) == 0 {
+			continue
+		}
 
-		sol, err := solveWith(nd.fixes)
-		if err != nil {
-			return nil, err
-		}
-		if sol.Status != lp.Optimal {
-			continue // infeasible or numerically stuck subtree
-		}
-		if sol.Objective >= incumbent-gapSlack(opt.Gap, incumbent) {
-			continue
-		}
-		col := p.mostFractional(sol.X, nd.fixes)
-		if col == -1 {
-			tryIncumbent(sol.X, sol.Objective)
-			continue
-		}
-		if res.Nodes%16 == 1 {
-			if err := roundAndRepair(sol.X, nd.fixes); err != nil {
-				return nil, err
+		par.DoWorker(len(batch), workers, func(w, i int) {
+			batch[i].sol, batch[i].err = solveWith(w, batch[i].nd.fixes)
+		})
+
+		for i := range batch {
+			it := &batch[i]
+			if it.err != nil {
+				return nil, it.err
 			}
-		}
-		for _, v := range [2]float64{1, 0} {
-			child := &node{
-				bound: sol.Objective,
-				fixes: append(append([]fix(nil), nd.fixes...), fix{col: col, val: v}),
+			sol := it.sol
+			if sol.Status != lp.Optimal {
+				continue // infeasible or numerically stuck subtree
 			}
-			heap.Push(open, child)
+			if sol.Objective >= incumbent-gapSlack(opt.Gap, incumbent) {
+				continue
+			}
+			col := p.mostFractional(sol.X, it.nd.fixes)
+			if col == -1 {
+				tryIncumbent(sol.X, sol.Objective)
+				continue
+			}
+			if it.num%16 == 1 {
+				if err := roundAndRepair(sol.X, it.nd.fixes); err != nil {
+					return nil, err
+				}
+			}
+			for _, v := range [2]float64{1, 0} {
+				push(sol.Objective, append(append([]fix(nil), it.nd.fixes...), fix{col: col, val: v}))
+			}
 		}
 	}
 
@@ -299,7 +367,7 @@ func (p *Program) Solve(opt Options) (*Result, error) {
 	}
 	res.HasSolution = true
 	res.Objective = incumbent
-	res.X = incumbentX
+	res.X = append([]float64(nil), incumbentX...)
 	// Snap binaries exactly.
 	for _, col := range p.binary {
 		if res.X[col] >= 0.5 {

@@ -1,0 +1,127 @@
+package cost
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Estimate is a memoized costing result: the estimated execution cost
+// of a plan and the expected result-row cardinality it produces.
+type Estimate struct {
+	// Cost is the estimated per-execution cost in model units.
+	Cost float64
+	// Rows is the estimated number of result rows.
+	Rows float64
+}
+
+// cacheShards bounds lock contention when many planner workers share
+// one cache; keys are spread across shards by an FNV-1a hash.
+const cacheShards = 32
+
+// Cache is a concurrency-safe memo of plan cost estimates shared across
+// planner invocations. Keys must fingerprint everything the estimate
+// depends on besides the schema statistics, the cost model, and the
+// planner configuration — the cache is scoped to one (schema, model,
+// config) combination and must be discarded when any of them change.
+//
+// A nil *Cache is valid and caches nothing, so call sites need no
+// enablement branches.
+type Cache struct {
+	shards [cacheShards]cacheShard
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[string]Estimate
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]Estimate)
+	}
+	return c
+}
+
+// shardFor hashes the key with FNV-1a and picks its shard.
+func (c *Cache) shardFor(key string) *cacheShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &c.shards[h%cacheShards]
+}
+
+// Get returns the memoized estimate for key, counting a hit or miss.
+func (c *Cache) Get(key string) (Estimate, bool) {
+	if c == nil {
+		return Estimate{}, false
+	}
+	sh := c.shardFor(key)
+	sh.mu.RLock()
+	e, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return e, ok
+}
+
+// Put memoizes an estimate. Later puts for the same key overwrite,
+// which is harmless because callers only store values that are pure
+// functions of the key.
+func (c *Cache) Put(key string, e Estimate) {
+	if c == nil {
+		return
+	}
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	sh.m[key] = e
+	sh.mu.Unlock()
+}
+
+// Len returns the number of memoized estimates.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// CacheStats reports cache effectiveness.
+type CacheStats struct {
+	// Hits is the number of Get calls answered from the cache.
+	Hits uint64
+	// Misses is the number of Get calls that found nothing.
+	Misses uint64
+	// Entries is the current number of memoized estimates.
+	Entries int
+}
+
+// Stats returns a snapshot of hit/miss counters and the entry count.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Entries: c.Len(),
+	}
+}

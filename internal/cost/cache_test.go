@@ -1,0 +1,97 @@
+package cost
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheBasic(t *testing.T) {
+	c := NewCache()
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", Estimate{Cost: 1.5, Rows: 3})
+	e, ok := c.Get("a")
+	if !ok || e.Cost != 1.5 || e.Rows != 3 {
+		t.Fatalf("got %+v ok=%v", e, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCacheNilIsInert(t *testing.T) {
+	var c *Cache
+	c.Put("a", Estimate{Cost: 1})
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Fatal("nil cache has entries")
+	}
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil cache stats %+v", st)
+	}
+}
+
+func TestCacheOverwrite(t *testing.T) {
+	c := NewCache()
+	c.Put("k", Estimate{Cost: 1})
+	c.Put("k", Estimate{Cost: 2})
+	if e, _ := c.Get("k"); e.Cost != 2 {
+		t.Fatalf("overwrite lost: %+v", e)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len %d", c.Len())
+	}
+}
+
+// TestCacheConcurrent hammers the cache from many goroutines; run with
+// -race this verifies shard locking.
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache()
+	const workers = 8
+	const keys = 200
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				k := fmt.Sprintf("key-%d", i)
+				if e, ok := c.Get(k); ok && e.Cost != float64(i) {
+					t.Errorf("key %s: wrong value %v", k, e.Cost)
+				}
+				c.Put(k, Estimate{Cost: float64(i), Rows: float64(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() != keys {
+		t.Fatalf("len %d, want %d", c.Len(), keys)
+	}
+	for i := 0; i < keys; i++ {
+		e, ok := c.Get(fmt.Sprintf("key-%d", i))
+		if !ok || e.Cost != float64(i) {
+			t.Fatalf("key %d: %+v ok=%v", i, e, ok)
+		}
+	}
+}
+
+func TestCacheShardSpread(t *testing.T) {
+	c := NewCache()
+	for i := 0; i < 1000; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), Estimate{})
+	}
+	used := 0
+	for i := range c.shards {
+		if len(c.shards[i].m) > 0 {
+			used++
+		}
+	}
+	if used < cacheShards/2 {
+		t.Fatalf("keys concentrated in %d/%d shards", used, cacheShards)
+	}
+}

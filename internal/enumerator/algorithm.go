@@ -1,6 +1,8 @@
 package enumerator
 
 import (
+	"nose/internal/par"
+	"nose/internal/schema"
 	"nose/internal/workload"
 )
 
@@ -35,12 +37,39 @@ func EnumerateWorkload(w *workload.Workload) (*Result, error) {
 
 // EnumerateWorkloadWith is EnumerateWorkload with feature toggles.
 func EnumerateWorkloadWith(w *workload.Workload, feats Features) (*Result, error) {
+	return EnumerateWorkloadParallel(w, feats, 1)
+}
+
+// EnumerateWorkloadParallel is EnumerateWorkloadWith fanned across a
+// bounded worker pool. Per-query (and, in the support passes,
+// per-candidate) enumeration runs into private local pools that are
+// merged into the shared pool in workload order, so the resulting pool —
+// content, insertion order, and assigned column family names — is
+// byte-identical for every worker count, including the serial path
+// (workers <= 1 runs inline with no goroutines).
+//
+// The fan-out is safe because candidate generation is purely additive:
+// it never reads the pool it adds to, so enumerating into a local pool
+// and merging afterwards reproduces exactly the serial insertion
+// sequence.
+func EnumerateWorkloadParallel(w *workload.Workload, feats Features, workers int) (*Result, error) {
 	pool := NewPool()
 	pool.feats = feats
-	for _, ws := range w.Queries() {
-		if err := EnumerateQuery(pool, ws.Statement.(*workload.Query)); err != nil {
-			return nil, err
+
+	queries := w.Queries()
+	locals := make([]*Pool, len(queries))
+	errs := make([]error, len(queries))
+	par.Do(len(queries), workers, func(i int) {
+		local := NewPool()
+		local.feats = feats
+		errs[i] = EnumerateQuery(local, queries[i].Statement.(*workload.Query))
+		locals[i] = local
+	})
+	for i := range queries {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
+		pool.merge(locals[i])
 	}
 
 	res := &Result{
@@ -50,7 +79,17 @@ func EnumerateWorkloadWith(w *workload.Workload, feats Features) (*Result, error
 
 	// The paper runs support-query enumeration twice: candidates added
 	// for support queries in the first pass may themselves require
-	// support queries with paths not yet covered.
+	// support queries with paths not yet covered. Each update sweeps a
+	// fixed snapshot of the pool, so the (update, candidate) pairs of
+	// one sweep are independent and fan out; their local pools merge in
+	// snapshot order. Updates stay sequential because each update's
+	// snapshot must include the candidates the previous one added.
+	type supportItem struct {
+		x    *schema.Index
+		sqs  []*workload.Query
+		pool *Pool
+	}
+	var items []*supportItem
 	for pass := 0; pass < 2; pass++ {
 		for _, ws := range w.Updates() {
 			u := ws.Statement.(workload.WriteStatement)
@@ -59,6 +98,7 @@ func EnumerateWorkloadWith(w *workload.Workload, feats Features) (*Result, error
 				perIndex = map[string][]*workload.Query{}
 				res.Support[u] = perIndex
 			}
+			items = items[:0]
 			for _, x := range pool.Indexes() {
 				if _, done := perIndex[x.ID()]; done {
 					continue
@@ -66,14 +106,23 @@ func EnumerateWorkloadWith(w *workload.Workload, feats Features) (*Result, error
 				if !Modifies(u, x) {
 					continue
 				}
-				sqs := SupportQueries(u, x)
-				perIndex[x.ID()] = sqs
-				for _, sq := range sqs {
+				items = append(items, &supportItem{x: x})
+			}
+			par.Do(len(items), workers, func(i int) {
+				it := items[i]
+				it.sqs = SupportQueries(u, it.x)
+				it.pool = NewPool()
+				it.pool.feats = feats
+				for _, sq := range it.sqs {
 					// Support queries always carry an equality
 					// predicate by construction, so enumeration
 					// cannot fail; ignore the error defensively.
-					_ = EnumerateQuery(pool, sq)
+					_ = EnumerateQuery(it.pool, sq)
 				}
+			})
+			for _, it := range items {
+				perIndex[it.x.ID()] = it.sqs
+				pool.merge(it.pool)
 			}
 		}
 	}

@@ -36,6 +36,18 @@ func (p *Pool) add(x *schema.Index) *schema.Index {
 	return got
 }
 
+// merge absorbs a local pool's candidates in their insertion order.
+// Provisional names the local pool assigned are cleared so the
+// receiving pool numbers new candidates by its own insertion sequence —
+// this is what keeps parallel enumeration's naming byte-identical to a
+// serial run (enumeration itself never assigns names).
+func (p *Pool) merge(local *Pool) {
+	for _, x := range local.Indexes() {
+		x.Name = ""
+		p.s.Add(x)
+	}
+}
+
 // Indexes returns the pool's candidates in insertion order.
 func (p *Pool) Indexes() []*schema.Index { return p.s.Indexes() }
 

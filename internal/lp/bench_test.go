@@ -1,0 +1,130 @@
+package lp_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nose/internal/lp"
+)
+
+// benchProblem builds a set-partition-with-costs LP shaped like the
+// relaxations the BIP solver hands to this package: choose rows, link
+// rows, and 0-1 bounded columns with a few entries each.
+func benchProblem(groups, perGroup int, rng *rand.Rand) *lp.Problem {
+	p := lp.NewProblem()
+	capRow := p.AddRow(math.Inf(-1), float64(groups)/2)
+	for g := 0; g < groups; g++ {
+		choose := p.AddRow(1, 1)
+		for k := 0; k < perGroup; k++ {
+			p.AddCol(rng.Float64()+0.1, 0, 1,
+				lp.Entry{Row: choose, Coef: 1},
+				lp.Entry{Row: capRow, Coef: rng.Float64()},
+			)
+		}
+	}
+	return p
+}
+
+// BenchmarkSimplex locks in the reusable-Solver hot path: repeated
+// solves of one problem must not allocate per iteration.
+func BenchmarkSimplex(b *testing.B) {
+	p := benchProblem(24, 6, rand.New(rand.NewSource(7)))
+	s := lp.NewSolver()
+	if _, err := s.Solve(p); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := s.Solve(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Status != lp.Optimal {
+			b.Fatalf("status %v", sol.Status)
+		}
+	}
+}
+
+// BenchmarkSimplexFresh measures the same solve without solver reuse,
+// for comparison against BenchmarkSimplex.
+func BenchmarkSimplexFresh(b *testing.B) {
+	p := benchProblem(24, 6, rand.New(rand.NewSource(7)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := p.Solve()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Status != lp.Optimal {
+			b.Fatalf("status %v", sol.Status)
+		}
+	}
+}
+
+// TestSolverReuseMatchesFresh solves a sequence of differently-shaped
+// random problems with one reused Solver and compares every result
+// against a fresh per-problem solve.
+func TestSolverReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := lp.NewSolver()
+	for trial := 0; trial < 40; trial++ {
+		p := benchProblem(2+rng.Intn(8), 1+rng.Intn(5), rng)
+		reused, err := s.Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reused.Status != fresh.Status {
+			t.Fatalf("trial %d: status %v vs %v", trial, reused.Status, fresh.Status)
+		}
+		if reused.Status != lp.Optimal {
+			continue
+		}
+		if math.Abs(reused.Objective-fresh.Objective) > 1e-9 {
+			t.Fatalf("trial %d: objective %v vs %v", trial, reused.Objective, fresh.Objective)
+		}
+		for j := range reused.X {
+			if math.Abs(reused.X[j]-fresh.X[j]) > 1e-9 {
+				t.Fatalf("trial %d: x[%d] %v vs %v", trial, j, reused.X[j], fresh.X[j])
+			}
+		}
+	}
+}
+
+// TestCloneIsolation verifies that mutating a clone's bounds, objective
+// and entries leaves the original untouched and vice versa.
+func TestCloneIsolation(t *testing.T) {
+	p := lp.NewProblem()
+	r := p.AddRow(math.Inf(-1), 10)
+	c0 := p.AddCol(1, 0, 1, lp.Entry{Row: r, Coef: 2})
+	c1 := p.AddCol(-1, 0, 5, lp.Entry{Row: r, Coef: 1})
+
+	cp := p.Clone()
+	cp.SetColBounds(c0, 1, 1)
+	cp.SetObj(c1, 3)
+	cp.AddEntry(c1, r, 4)
+
+	orig, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Original: minimize x0 - x1 s.t. 2x0 + x1 <= 10 -> x0=0, x1=5.
+	if orig.Status != lp.Optimal || math.Abs(orig.Objective-(-5)) > 1e-9 {
+		t.Fatalf("original polluted by clone mutation: %+v", orig)
+	}
+
+	mod, err := cp.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clone: minimize x0 + 3x1 with x0 fixed at 1 -> x0=1, x1=0.
+	if mod.Status != lp.Optimal || math.Abs(mod.Objective-1) > 1e-9 {
+		t.Fatalf("clone did not carry mutations: %+v", mod)
+	}
+}

@@ -160,3 +160,18 @@ func (p *Problem) AddEntry(col, row int, coef float64) {
 // branch and bound uses it as a connectivity measure when choosing a
 // branching variable.
 func (p *Problem) ColEntryCount(col int) int { return len(p.cols[col].entries) }
+
+// Clone returns a deep copy of the problem. Parallel branch and bound
+// gives each worker its own clone so column bounds can be fixed and
+// reverted concurrently without synchronization.
+func (p *Problem) Clone() *Problem {
+	cp := &Problem{
+		cols: make([]column, len(p.cols)),
+		rows: append([]rowBounds(nil), p.rows...),
+	}
+	copy(cp.cols, p.cols)
+	for i := range cp.cols {
+		cp.cols[i].entries = append([]Entry(nil), cp.cols[i].entries...)
+	}
+	return cp
+}

@@ -26,8 +26,13 @@ const (
 	basic
 )
 
-// simplex is the working state of one solve.
-type simplex struct {
+// Solver runs two-phase bounded revised simplex solves, retaining every
+// scratch buffer between calls: branch and bound (internal/bip) solves
+// thousands of same-shaped relaxations, and reusing the tableau storage
+// removes all per-solve and per-iteration allocation from that hot
+// path. A Solver is not safe for concurrent use; create one per worker
+// goroutine.
+type Solver struct {
 	m int // rows
 	n int // structural columns
 
@@ -40,29 +45,120 @@ type simplex struct {
 	xval   []float64 // current value per variable (nonbasic: at bound)
 
 	basis []int       // variable basic at each row position
-	binv  [][]float64 // dense basis inverse
+	binv  [][]float64 // dense basis inverse (rows backed by invData)
 	xb    []float64   // basic variable values by row position
+
+	// invData double-buffers the basis inverse storage: refactorization
+	// rebuilds into the inactive buffer and swaps.
+	invData [2][]float64
+	invRows [2][][]float64
+	invCur  int
+	bData   []float64   // basis matrix scratch for refactorization
+	bRows   [][]float64
+
+	single []Entry // backing for slack/artificial single-entry columns
+
+	y, w, res []float64 // per-iteration multiplier/direction/residual scratch
+	phase1    []float64
+	isBasic   []bool
 
 	pivots   int
 	degens   int
 	maxIters int
 }
 
-// Solve runs the two-phase bounded revised simplex method.
+// NewSolver returns an empty solver; its buffers grow to fit the first
+// problem solved and are reused afterwards.
+func NewSolver() *Solver { return &Solver{} }
+
+// Solve runs the two-phase bounded revised simplex method, reusing a
+// fresh solver. Loops that solve many problems should hold a Solver and
+// call its Solve method instead.
 func (p *Problem) Solve() (*Solution, error) {
+	return NewSolver().Solve(p)
+}
+
+// growF returns s resized to n, zeroed, reusing capacity when possible.
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// prepare sizes and initializes the solver's state for one problem.
+func (s *Solver) prepare(p *Problem) {
+	m, n := len(p.rows), len(p.cols)
+	s.m, s.n = m, n
+	total := n + m + m // structural + slack + artificial
+	s.obj = growF(s.obj, total)
+	s.lo = growF(s.lo, total)
+	s.hi = growF(s.hi, total)
+	s.xval = growF(s.xval, total)
+	s.xb = growF(s.xb, m)
+	s.y = growF(s.y, m)
+	s.w = growF(s.w, m)
+	s.res = growF(s.res, m)
+	s.phase1 = growF(s.phase1, total)
+	if cap(s.entries) < total {
+		s.entries = make([][]Entry, total)
+	} else {
+		s.entries = s.entries[:total]
+	}
+	if cap(s.status) < total {
+		s.status = make([]varStatus, total)
+	} else {
+		s.status = s.status[:total]
+		for i := range s.status {
+			s.status[i] = atLower
+		}
+	}
+	if cap(s.basis) < m {
+		s.basis = make([]int, m)
+	} else {
+		s.basis = s.basis[:m]
+	}
+	if cap(s.isBasic) < total {
+		s.isBasic = make([]bool, total)
+	} else {
+		s.isBasic = s.isBasic[:total]
+	}
+	if cap(s.single) < 2*m {
+		s.single = make([]Entry, 2*m)
+	} else {
+		s.single = s.single[:2*m]
+	}
+	for buf := 0; buf < 2; buf++ {
+		s.invData[buf] = growF(s.invData[buf], m*m)
+		if cap(s.invRows[buf]) < m {
+			s.invRows[buf] = make([][]float64, m)
+		} else {
+			s.invRows[buf] = s.invRows[buf][:m]
+		}
+	}
+	s.bData = growF(s.bData, m*m)
+	if cap(s.bRows) < m {
+		s.bRows = make([][]float64, m)
+	} else {
+		s.bRows = s.bRows[:m]
+	}
+	s.invCur = 0
+	s.pivots, s.degens = 0, 0
+	s.maxIters = 2000 + 40*(m+n)
+}
+
+// Solve runs the two-phase bounded revised simplex method on p, reusing
+// the solver's buffers.
+func (s *Solver) Solve(p *Problem) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	m, n := len(p.rows), len(p.cols)
-	s := &simplex{m: m, n: n}
-	total := n + m + m // structural + slack + artificial
-	s.obj = make([]float64, total)
-	s.lo = make([]float64, total)
-	s.hi = make([]float64, total)
-	s.entries = make([][]Entry, total)
-	s.status = make([]varStatus, total)
-	s.xval = make([]float64, total)
-	s.maxIters = 2000 + 40*(m+n)
+	s.prepare(p)
+	m, n := s.m, s.n
 
 	for j, c := range p.cols {
 		s.lo[j], s.hi[j] = c.lo, c.hi
@@ -72,7 +168,8 @@ func (p *Problem) Solve() (*Solution, error) {
 	for i, r := range p.rows {
 		j := n + i
 		s.lo[j], s.hi[j] = -r.hi, -r.lo
-		s.entries[j] = []Entry{{Row: i, Coef: 1}}
+		s.single[i] = Entry{Row: i, Coef: 1}
+		s.entries[j] = s.single[i : i+1]
 	}
 
 	// Nonbasic structural and slack variables start at a finite bound.
@@ -82,7 +179,7 @@ func (p *Problem) Solve() (*Solution, error) {
 
 	// Residuals determine the artificial columns' signs and starting
 	// values: artificial i has column sign_i * e_i and value |res_i|.
-	res := make([]float64, m)
+	res := s.res
 	for j := 0; j < n+m; j++ {
 		if s.xval[j] == 0 {
 			continue
@@ -91,27 +188,31 @@ func (p *Problem) Solve() (*Solution, error) {
 			res[e.Row] += e.Coef * s.xval[j]
 		}
 	}
-	s.basis = make([]int, m)
-	s.xb = make([]float64, m)
-	s.binv = make([][]float64, m)
+	binv := s.invRows[s.invCur]
 	for i := 0; i < m; i++ {
 		j := n + m + i
 		sign := 1.0
 		if res[i] > 0 {
 			sign = -1
 		}
-		s.entries[j] = []Entry{{Row: i, Coef: sign}}
+		s.single[m+i] = Entry{Row: i, Coef: sign}
+		s.entries[j] = s.single[m+i : m+i+1]
 		s.lo[j], s.hi[j] = 0, math.Inf(1)
 		s.status[j] = basic
 		s.basis[i] = j
 		s.xb[i] = math.Abs(res[i])
 		s.xval[j] = s.xb[i]
-		s.binv[i] = make([]float64, m)
-		s.binv[i][i] = sign
+		row := s.invData[s.invCur][i*m : (i+1)*m]
+		for k := range row {
+			row[k] = 0
+		}
+		row[i] = sign
+		binv[i] = row
 	}
+	s.binv = binv
 
 	// Phase 1: minimize the sum of artificial variables.
-	phase1 := make([]float64, total)
+	phase1 := s.phase1
 	needPhase1 := false
 	for i := 0; i < m; i++ {
 		phase1[n+m+i] = 1
@@ -176,7 +277,7 @@ func startBound(lo, hi float64) (varStatus, float64) {
 }
 
 // objectiveOf evaluates an objective vector at the current point.
-func (s *simplex) objectiveOf(c []float64) float64 {
+func (s *Solver) objectiveOf(c []float64) float64 {
 	total := 0.0
 	for j, v := range s.xval {
 		if c[j] != 0 && v != 0 {
@@ -188,7 +289,7 @@ func (s *simplex) objectiveOf(c []float64) float64 {
 
 // iterate runs primal simplex iterations for the given objective until
 // optimality, unboundedness, or the iteration limit.
-func (s *simplex) iterate(c []float64) Status {
+func (s *Solver) iterate(c []float64) Status {
 	iters := 0
 	for {
 		iters++
@@ -197,7 +298,10 @@ func (s *simplex) iterate(c []float64) Status {
 		}
 
 		// Simplex multipliers y = c_B · B⁻¹.
-		y := make([]float64, s.m)
+		y := s.y
+		for k := range y {
+			y[k] = 0
+		}
 		for i := 0; i < s.m; i++ {
 			cb := c[s.basis[i]]
 			if cb == 0 {
@@ -248,7 +352,10 @@ func (s *simplex) iterate(c []float64) Status {
 		}
 
 		// Direction w = B⁻¹ A_entering.
-		w := make([]float64, s.m)
+		w := s.w
+		for k := range w {
+			w[k] = 0
+		}
 		for _, e := range s.entries[entering] {
 			coef := e.Coef
 			for i := 0; i < s.m; i++ {
@@ -361,16 +468,24 @@ func (s *simplex) iterate(c []float64) Status {
 // refactor rebuilds the basis inverse from scratch by Gauss-Jordan
 // elimination with partial pivoting and recomputes the basic values,
 // clearing accumulated floating point drift. It reports false when the
-// basis has become numerically singular.
-func (s *simplex) refactor() bool {
+// basis has become numerically singular. The rebuild targets the
+// inactive half of the double-buffered inverse storage, then swaps.
+func (s *Solver) refactor() bool {
 	m := s.m
-	// Assemble the basis matrix.
-	b := make([][]float64, m)
-	inv := make([][]float64, m)
+	// Assemble the basis matrix and an identity in the scratch buffers.
+	next := 1 - s.invCur
+	b := s.bRows
+	inv := s.invRows[next]
 	for i := 0; i < m; i++ {
-		b[i] = make([]float64, m)
-		inv[i] = make([]float64, m)
-		inv[i][i] = 1
+		brow := s.bData[i*m : (i+1)*m]
+		irow := s.invData[next][i*m : (i+1)*m]
+		for k := range brow {
+			brow[k] = 0
+			irow[k] = 0
+		}
+		irow[i] = 1
+		b[i] = brow
+		inv[i] = irow
 	}
 	for pos, j := range s.basis {
 		for _, e := range s.entries[j] {
@@ -406,11 +521,18 @@ func (s *simplex) refactor() bool {
 			}
 		}
 	}
+	s.invCur = next
 	s.binv = inv
 
 	// Recompute basic values: B x_B = -A_N x_N.
-	res := make([]float64, m)
-	isBasic := make([]bool, len(s.xval))
+	res := s.res
+	for k := range res {
+		res[k] = 0
+	}
+	isBasic := s.isBasic
+	for j := range isBasic {
+		isBasic[j] = false
+	}
 	for _, j := range s.basis {
 		isBasic[j] = true
 	}

@@ -1,0 +1,86 @@
+package par_test
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"nose/internal/par"
+)
+
+func TestDoCoversAllIndexes(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		n := 57
+		hits := make([]atomic.Int32, n)
+		par.Do(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestDoInlineOrder(t *testing.T) {
+	var order []int
+	par.Do(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("inline execution out of order: %v", order)
+		}
+	}
+}
+
+func TestDoZeroItems(t *testing.T) {
+	par.Do(0, 4, func(i int) { t.Fatal("fn called for n=0") })
+}
+
+func TestDoPanicPropagation(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic not propagated")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("panic message lost: %v", r)
+		}
+	}()
+	par.Do(16, 4, func(i int) {
+		if i == 3 {
+			panic("boom")
+		}
+	})
+}
+
+// TestDoWorkerExclusiveIDs: a worker id must never be used by two
+// concurrent calls, so per-worker scratch is data-race free.
+func TestDoWorkerExclusiveIDs(t *testing.T) {
+	const workers = 4
+	var busy [workers]atomic.Int32
+	var covered [200]atomic.Int32
+	par.DoWorker(len(covered), workers, func(w, i int) {
+		if w < 0 || w >= workers {
+			t.Errorf("worker id %d out of range", w)
+			return
+		}
+		if busy[w].Add(1) != 1 {
+			t.Errorf("worker id %d used concurrently", w)
+		}
+		covered[i].Add(1)
+		busy[w].Add(-1)
+	})
+	for i := range covered {
+		if covered[i].Load() != 1 {
+			t.Fatalf("index %d executed %d times", i, covered[i].Load())
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if par.Workers(0) < 1 || par.Workers(-2) < 1 {
+		t.Fatal("Workers must default to at least one")
+	}
+	if par.Workers(5) != 5 {
+		t.Fatal("explicit worker counts must pass through")
+	}
+}

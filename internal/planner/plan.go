@@ -38,9 +38,12 @@ func (p *Plan) Indexes() []*schema.Index {
 
 // Signature canonically identifies the plan's structure for
 // deduplication.
-func (p *Plan) Signature() string {
+func (p *Plan) Signature() string { return stepsSignature(p.Steps) }
+
+// stepsSignature canonically identifies a step sequence.
+func stepsSignature(steps []Step) string {
 	var b strings.Builder
-	for _, s := range p.Steps {
+	for _, s := range steps {
 		b.WriteString(s.signature())
 		b.WriteByte('|')
 	}

@@ -2,7 +2,9 @@ package planner
 
 import (
 	"math"
+	"strconv"
 	"strings"
+	"sync"
 
 	"nose/internal/cost"
 	"nose/internal/enumerator"
@@ -23,6 +25,11 @@ type Config struct {
 	// SkipRelaxation disables predicate relaxation during planning
 	// (ablation): only fully-pushed lookups are considered.
 	SkipRelaxation bool
+	// Cache, when non-nil, memoizes (cost, rows) estimates across
+	// planner invocations, keyed by statement fingerprint plus plan
+	// signature. The cache must be scoped to one (schema, cost model,
+	// planner config) combination; nil disables memoization.
+	Cache *cost.Cache
 }
 
 // DefaultMaxPlansPerQuery bounds plan spaces when Config leaves
@@ -38,11 +45,16 @@ func DefaultConfig() Config {
 }
 
 // Planner generates plan spaces for statements over a candidate pool.
+// It is safe for concurrent use: plan-space generation for different
+// statements may run on separate goroutines sharing one Planner.
 type Planner struct {
 	pool  *enumerator.Pool
 	model cost.Model
 	cfg   Config
 
+	// mu guards the lazily-rebuilt partition map below; everything else
+	// on the Planner is read-only after New.
+	mu sync.Mutex
 	// byPartition indexes the pool by canonical partition key so
 	// lookup-variant generation touches only structurally compatible
 	// candidates. It is rebuilt lazily when the pool grows.
@@ -62,8 +74,11 @@ func New(pool *enumerator.Pool, m cost.Model, cfg Config) *Planner {
 }
 
 // candidatesFor returns the pool candidates whose partition key equals
-// the given canonical attribute set.
+// the given canonical attribute set. The returned slice is shared and
+// must be treated as read-only.
 func (p *Planner) candidatesFor(partitionKey string) []*schema.Index {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if all := p.pool.Indexes(); len(all) != p.indexed {
 		p.byPartition = map[string][]*schema.Index{}
 		for _, x := range all {
@@ -80,6 +95,36 @@ func (p *Planner) Pool() *enumerator.Pool { return p.pool }
 
 // CostModel returns the planner's cost model.
 func (p *Planner) CostModel() cost.Model { return p.model }
+
+// queryCacheKey fingerprints a query for the cost cache. It extends
+// the enumerator's structural signature with the limit, which the
+// signature ignores but lookup costing depends on. An empty string
+// means caching is off.
+func (p *Planner) queryCacheKey(q *workload.Query) string {
+	if p.cfg.Cache == nil {
+		return ""
+	}
+	return enumerator.QuerySignature(q) + "#L" + strconv.Itoa(q.Limit)
+}
+
+// estimatePlan costs a step sequence, consulting the shared cost cache
+// when configured, and returns the plan along with its signature (which
+// callers need anyway for deduplication — computing it here lets cache
+// hits skip the costing walk entirely). qkey comes from queryCacheKey;
+// empty disables the cache for this call.
+func (p *Planner) estimatePlan(q *workload.Query, qkey string, steps []Step) (*Plan, string) {
+	sig := stepsSignature(steps)
+	if qkey == "" {
+		return p.estimate(q, steps), sig
+	}
+	key := qkey + "\x00" + sig
+	if e, ok := p.cfg.Cache.Get(key); ok {
+		return &Plan{Query: q, Steps: steps, Cost: e.Cost, Rows: e.Rows}, sig
+	}
+	pl := p.estimate(q, steps)
+	p.cfg.Cache.Put(key, cost.Estimate{Cost: pl.Cost, Rows: pl.Rows})
+	return pl, sig
+}
 
 // estimate walks a plan's steps, tracking the expected row cardinality
 // and accumulating cost under the planner's model.

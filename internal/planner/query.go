@@ -31,30 +31,38 @@ func (p *Planner) PlanQuery(q *workload.Query) (*PlanSpace, error) {
 		raw = append(raw, p.orientedChains(oq)...)
 	}
 
-	plans := make([]*Plan, 0, len(raw))
+	qkey := p.queryCacheKey(q)
+	type costed struct {
+		plan *Plan
+		sig  string
+	}
+	plans := make([]costed, 0, len(raw))
 	seen := map[string]bool{}
 	for _, steps := range raw {
-		pl := p.estimate(q, steps)
-		sig := pl.Signature()
+		pl, sig := p.estimatePlan(q, qkey, steps)
 		if seen[sig] {
 			continue
 		}
 		seen[sig] = true
-		plans = append(plans, pl)
+		plans = append(plans, costed{plan: pl, sig: sig})
 	}
 	if len(plans) == 0 {
 		return nil, fmt.Errorf("planner: no plan found for query %q", workload.Label(q))
 	}
 	sort.Slice(plans, func(i, j int) bool {
-		if plans[i].Cost != plans[j].Cost {
-			return plans[i].Cost < plans[j].Cost
+		if plans[i].plan.Cost != plans[j].plan.Cost {
+			return plans[i].plan.Cost < plans[j].plan.Cost
 		}
-		return plans[i].Signature() < plans[j].Signature()
+		return plans[i].sig < plans[j].sig
 	})
 	if len(plans) > p.cfg.MaxPlansPerQuery {
 		plans = plans[:p.cfg.MaxPlansPerQuery]
 	}
-	return &PlanSpace{Query: q, Plans: plans}, nil
+	out := make([]*Plan, len(plans))
+	for i, c := range plans {
+		out[i] = c.plan
+	}
+	return &PlanSpace{Query: q, Plans: out}, nil
 }
 
 // orientedChains generates the raw step sequences for one orientation
@@ -172,11 +180,11 @@ func (p *Planner) pruneChains(q *workload.Query, out [][]Step) [][]Step {
 		cost  float64
 		sig   string
 	}
+	qkey := p.queryCacheKey(q)
 	uniq := make([]scored, 0, len(out))
 	seen := map[string]bool{}
 	for _, steps := range out {
-		pl := p.estimate(q, steps)
-		sig := pl.Signature()
+		pl, sig := p.estimatePlan(q, qkey, steps)
 		if seen[sig] {
 			continue
 		}

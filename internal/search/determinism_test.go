@@ -1,9 +1,11 @@
 package search_test
 
 import (
+	"math"
 	"testing"
 
 	"nose/internal/hotel"
+	"nose/internal/rubis"
 	"nose/internal/search"
 	"nose/internal/workload"
 )
@@ -42,6 +44,90 @@ func TestAdviseDeterministic(t *testing.T) {
 		if a.Queries[i].Plan.Signature() != b.Queries[i].Plan.Signature() {
 			t.Errorf("plan %d differs", i)
 		}
+	}
+}
+
+// TestAdviseWorkerInvariance: the recommendation must be byte-identical
+// for every worker count — schema rendering, objective bits, plan
+// signatures, and node counts. Parallelism may only change wall-clock
+// time, never the answer.
+func TestAdviseWorkerInvariance(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func(t *testing.T) *workload.Workload
+		opt   search.Options
+	}{
+		{
+			name: "hotel",
+			build: func(t *testing.T) *workload.Workload {
+				g := hotel.Graph()
+				w := workload.New(g)
+				for i, src := range []string{hotel.ExampleQuery, hotel.PrefixQuery, hotel.POIQuery} {
+					q := workload.MustParseQuery(g, src)
+					q.Label = string(rune('A' + i))
+					w.Add(q, float64(i+1))
+				}
+				w.Add(workload.MustParse(g, hotel.UpdateStatements[0]), 0.5)
+				w.Add(workload.MustParse(g, hotel.UpdateStatements[2]), 0.25)
+				return w
+			},
+		},
+		{
+			name: "rubis",
+			build: func(t *testing.T) *workload.Workload {
+				w, _, err := rubis.Workload(rubis.Graph(rubis.DefaultConfig()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return w
+			},
+			// The full RUBiS program is large; bound the solve the same
+			// way the benchmarks do. Worker invariance must hold even
+			// under node and gap cutoffs.
+			opt: search.Options{},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(workers int) *search.Recommendation {
+				opt := tc.opt
+				opt.Workers = workers
+				if tc.name == "rubis" {
+					opt.Planner.MaxPlansPerQuery = 16
+					opt.MaxSupportPlans = 4
+					opt.BIP.MaxNodes = 60
+					opt.BIP.Gap = 0.01
+				}
+				rec, err := search.Advise(tc.build(t), opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rec
+			}
+			base := run(1)
+			for _, workers := range []int{2, 8} {
+				rec := run(workers)
+				if got, want := rec.Schema.String(), base.Schema.String(); got != want {
+					t.Errorf("workers=%d: schema differs:\n%s\nvs workers=1:\n%s", workers, got, want)
+				}
+				if math.Float64bits(rec.Cost) != math.Float64bits(base.Cost) {
+					t.Errorf("workers=%d: cost %v vs %v (not bit-identical)", workers, rec.Cost, base.Cost)
+				}
+				if rec.Stats.Nodes != base.Stats.Nodes {
+					t.Errorf("workers=%d: explored %d nodes vs %d", workers, rec.Stats.Nodes, base.Stats.Nodes)
+				}
+				if len(rec.Queries) != len(base.Queries) {
+					t.Fatalf("workers=%d: %d query plans vs %d", workers, len(rec.Queries), len(base.Queries))
+				}
+				for i := range rec.Queries {
+					if rec.Queries[i].Plan.Signature() != base.Queries[i].Plan.Signature() {
+						t.Errorf("workers=%d: plan %d differs", workers, i)
+					}
+				}
+				if len(rec.Updates) != len(base.Updates) {
+					t.Fatalf("workers=%d: %d update plans vs %d", workers, len(rec.Updates), len(base.Updates))
+				}
+			}
+		})
 	}
 }
 

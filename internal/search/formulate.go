@@ -7,6 +7,7 @@ import (
 	"nose/internal/bip"
 	"nose/internal/enumerator"
 	"nose/internal/lp"
+	"nose/internal/par"
 	"nose/internal/planner"
 	"nose/internal/schema"
 	"nose/internal/workload"
@@ -74,77 +75,117 @@ type planRef struct {
 	plan  *planner.Plan
 }
 
-// newBuilder plans every query and update in the workload.
+// newBuilder plans every query and update in the workload. Plan-space
+// generation fans across a bounded worker pool: queries fill
+// index-addressed slots and update blocks are built independently, with
+// their maintenance-cost contributions merged in workload order so
+// floating-point accumulation is bit-identical for every worker count.
 func newBuilder(w *workload.Workload, pl *planner.Planner, enumRes *enumerator.Result, opt Options) (*builder, error) {
 	b := &builder{w: w, pl: pl, pool: pl.Pool().Indexes(), opt: opt, maint: map[string]float64{}}
+	workers := par.Workers(opt.Workers)
 
-	for _, ws := range w.Queries() {
-		q := ws.Statement.(*workload.Query)
+	qws := w.Queries()
+	qblocks := make([]*queryBlock, len(qws))
+	qerrs := make([]error, len(qws))
+	par.Do(len(qws), workers, func(i int) {
+		q := qws[i].Statement.(*workload.Query)
 		space, err := pl.PlanQuery(q)
 		if err != nil {
-			return nil, err
+			qerrs[i] = err
+			return
 		}
-		b.queries = append(b.queries, &queryBlock{ws: ws, space: space})
+		qblocks[i] = &queryBlock{ws: qws[i], space: space}
+	})
+	for i := range qws {
+		if qerrs[i] != nil {
+			return nil, qerrs[i]
+		}
+		b.queries = append(b.queries, qblocks[i])
 	}
 
-	for _, ws := range w.Updates() {
-		u := ws.Statement.(workload.WriteStatement)
-		ub := &updateBlock{ws: ws, u: u, plans: map[string]*planner.UpdatePlan{}}
-		// Support queries of one update that share a path and
-		// predicates differ only in which attributes they select (each
-		// maintained family needs a different subset). The store
-		// charges reads per row, not per cell, so the union query
-		// costs the same and is planned once for the whole group.
-		type pendingGroup struct {
-			merged    *workload.Query
-			originals []*workload.Query
-			indexes   []*schema.Index
+	uws := w.Updates()
+	ublocks := make([]*updateBlock, len(uws))
+	umaints := make([]map[string]float64, len(uws))
+	uerrs := make([]error, len(uws))
+	par.Do(len(uws), workers, func(i int) {
+		ublocks[i], umaints[i], uerrs[i] = b.buildUpdateBlock(uws[i], enumRes)
+	})
+	for i := range uws {
+		if uerrs[i] != nil {
+			return nil, uerrs[i]
 		}
-		groupByShape := map[string]*pendingGroup{}
-		var groupOrder []string
-		for _, x := range b.pool {
-			sqs, modified := enumRes.Support[u][x.ID()]
-			if !modified {
-				if !enumerator.Modifies(u, x) {
-					continue
-				}
-				sqs = enumerator.SupportQueries(u, x)
-			}
-			up, err := pl.PlanUpdate(u, x, nil)
-			if err != nil {
-				return nil, err
-			}
-			ub.plans[x.ID()] = up
-			ub.order = append(ub.order, x)
-			b.maint[x.ID()] += b.w.Weight(ws) * up.WriteCost
-			for _, sq := range sqs {
-				shape := shapeSignature(sq)
-				g := groupByShape[shape]
-				if g == nil {
-					g = &pendingGroup{merged: cloneQuery(sq)}
-					groupByShape[shape] = g
-					groupOrder = append(groupOrder, shape)
-				} else {
-					mergeSelects(g.merged, sq)
-				}
-				g.originals = append(g.originals, sq)
-				g.indexes = append(g.indexes, x)
-			}
+		// Per-key sums accumulate across updates in workload order; keys
+		// never interact, so map iteration order here is irrelevant.
+		for id, m := range umaints[i] {
+			b.maint[id] += m
 		}
-		for _, shape := range groupOrder {
-			pg := groupByShape[shape]
-			groups, err := b.planSupportGroup(pg.merged, pg.originals, pg.indexes)
-			if err != nil {
-				return nil, err
-			}
-			ub.groups = append(ub.groups, groups...)
-		}
-		if len(ub.order) > 0 {
-			b.updates = append(b.updates, ub)
+		if len(ublocks[i].order) > 0 {
+			b.updates = append(b.updates, ublocks[i])
 		}
 	}
 	b.pruneUnselectable()
 	return b, nil
+}
+
+// buildUpdateBlock plans one write statement's maintenance against every
+// modified pool candidate and groups its support queries. It touches no
+// builder state shared with other goroutines: the maintenance-cost
+// contributions come back in a private map the caller merges in workload
+// order.
+func (b *builder) buildUpdateBlock(ws *workload.WeightedStatement, enumRes *enumerator.Result) (*updateBlock, map[string]float64, error) {
+	u := ws.Statement.(workload.WriteStatement)
+	ub := &updateBlock{ws: ws, u: u, plans: map[string]*planner.UpdatePlan{}}
+	maint := map[string]float64{}
+	// Support queries of one update that share a path and
+	// predicates differ only in which attributes they select (each
+	// maintained family needs a different subset). The store
+	// charges reads per row, not per cell, so the union query
+	// costs the same and is planned once for the whole group.
+	type pendingGroup struct {
+		merged    *workload.Query
+		originals []*workload.Query
+		indexes   []*schema.Index
+	}
+	groupByShape := map[string]*pendingGroup{}
+	var groupOrder []string
+	for _, x := range b.pool {
+		sqs, modified := enumRes.Support[u][x.ID()]
+		if !modified {
+			if !enumerator.Modifies(u, x) {
+				continue
+			}
+			sqs = enumerator.SupportQueries(u, x)
+		}
+		up, err := b.pl.PlanUpdate(u, x, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		ub.plans[x.ID()] = up
+		ub.order = append(ub.order, x)
+		maint[x.ID()] += b.w.Weight(ws) * up.WriteCost
+		for _, sq := range sqs {
+			shape := shapeSignature(sq)
+			g := groupByShape[shape]
+			if g == nil {
+				g = &pendingGroup{merged: cloneQuery(sq)}
+				groupByShape[shape] = g
+				groupOrder = append(groupOrder, shape)
+			} else {
+				mergeSelects(g.merged, sq)
+			}
+			g.originals = append(g.originals, sq)
+			g.indexes = append(g.indexes, x)
+		}
+	}
+	for _, shape := range groupOrder {
+		pg := groupByShape[shape]
+		groups, err := b.planSupportGroup(pg.merged, pg.originals, pg.indexes)
+		if err != nil {
+			return nil, nil, err
+		}
+		ub.groups = append(ub.groups, groups...)
+	}
+	return ub, maint, nil
 }
 
 // pruneUnselectable removes candidates no plan in any plan space ever

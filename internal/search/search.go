@@ -13,6 +13,7 @@ import (
 	"nose/internal/bip"
 	"nose/internal/cost"
 	"nose/internal/enumerator"
+	"nose/internal/par"
 	"nose/internal/planner"
 	"nose/internal/schema"
 	"nose/internal/workload"
@@ -20,6 +21,13 @@ import (
 
 // Options configures an advisor run.
 type Options struct {
+	// Workers bounds the goroutines fanned across the pipeline:
+	// candidate enumeration, plan-space generation, and the LP
+	// relaxations inside the branch and bound solver. Zero or negative
+	// means runtime.NumCPU(). The recommendation — schema, plans,
+	// objective — is bit-identical for every value; workers only change
+	// wall-clock time.
+	Workers int
 	// CostModel prices plan operations; nil means cost.Default().
 	CostModel cost.Model
 	// Planner tunes plan-space generation.
@@ -119,21 +127,36 @@ type Recommendation struct {
 	Stats Stats
 }
 
-// Advise runs the full pipeline on a workload and returns the
-// recommendation.
-func Advise(w *workload.Workload, opt Options) (*Recommendation, error) {
+// withDefaults resolves zero-valued options: the default cost model,
+// support-plan bound, worker count (spread to the BIP solver), and a
+// fresh per-run cost cache. The cache memo is shared by every planner
+// invocation of one run and is scoped to this (schema, model, config)
+// combination, so a fresh run gets a fresh cache.
+func (opt Options) withDefaults() Options {
 	if opt.CostModel == nil {
 		opt.CostModel = cost.Default()
 	}
 	if opt.MaxSupportPlans <= 0 {
 		opt.MaxSupportPlans = DefaultMaxSupportPlans
 	}
+	opt.Workers = par.Workers(opt.Workers)
+	opt.BIP.Workers = opt.Workers
+	if opt.Planner.Cache == nil {
+		opt.Planner.Cache = cost.NewCache()
+	}
+	return opt
+}
+
+// Advise runs the full pipeline on a workload and returns the
+// recommendation.
+func Advise(w *workload.Workload, opt Options) (*Recommendation, error) {
+	opt = opt.withDefaults()
 	start := time.Now()
 	rec := &Recommendation{}
 
 	// Candidate enumeration (Algorithm 1).
 	t := time.Now()
-	enumRes, err := enumerator.EnumerateWorkloadWith(w, opt.Enumerator)
+	enumRes, err := enumerator.EnumerateWorkloadParallel(w, opt.Enumerator, opt.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,85 @@
+package search
+
+import (
+	"fmt"
+
+	"nose/internal/bip"
+	"nose/internal/enumerator"
+	"nose/internal/planner"
+	"nose/internal/workload"
+)
+
+// BuildPlans runs the plan-space generation stage alone — everything
+// newBuilder does: planning every query, every update's maintenance,
+// and every support-query group. It exists so benchmarks can measure
+// this stage separately from enumeration and solving.
+func BuildPlans(w *workload.Workload, enumRes *enumerator.Result, opt Options) error {
+	opt = opt.withDefaults()
+	pl := planner.New(enumRes.Pool, opt.CostModel, opt.Planner)
+	_, err := newBuilder(w, pl, enumRes, opt)
+	return err
+}
+
+// Prepared is a formulated advisor problem whose solve stage can be run
+// repeatedly — benchmarks use it to time the branch and bound phases
+// in isolation from enumeration and plan-space generation.
+type Prepared struct {
+	b         *builder
+	opt       Options
+	prog      *bip.Program
+	refs      *colRefs
+	incumbent []float64
+}
+
+// Prepare plans the workload and formulates the phase-1 program.
+func Prepare(w *workload.Workload, enumRes *enumerator.Result, opt Options) (*Prepared, error) {
+	opt = opt.withDefaults()
+	pl := planner.New(enumRes.Pool, opt.CostModel, opt.Planner)
+	b, err := newBuilder(w, pl, enumRes, opt)
+	if err != nil {
+		return nil, err
+	}
+	prog, refs := b.formulate(nil)
+	return &Prepared{
+		b:         b,
+		opt:       opt,
+		prog:      prog,
+		refs:      refs,
+		incumbent: b.greedyIncumbent(prog, refs),
+	}, nil
+}
+
+// Solve runs both solver phases, mirroring Advise: minimize workload
+// cost, then minimize the number of paid column families at that cost
+// (the phase-2 program is formulated here, matching Advise's split of
+// work between construction and solving).
+func (p *Prepared) Solve() error {
+	phase1 := p.opt.BIP
+	phase1.Incumbent = p.incumbent
+	res1, err := p.prog.Solve(phase1)
+	if err != nil {
+		return fmt.Errorf("search: phase 1 solve: %w", err)
+	}
+	if !res1.HasSolution {
+		return fmt.Errorf("search: phase 1 %v: no feasible schema", res1.Status)
+	}
+	if p.opt.SkipMinimizeSchema {
+		return nil
+	}
+	pin := res1.Objective
+	prog2, _ := p.b.formulate(&pin)
+	phase2 := p.opt.BIP
+	phase2.Incumbent = res1.X
+	_, err = prog2.Solve(phase2)
+	return err
+}
+
+// SolvePhases is Prepare followed by one Solve, for callers that do not
+// need to amortize formulation across repeated solves.
+func SolvePhases(w *workload.Workload, enumRes *enumerator.Result, opt Options) error {
+	p, err := Prepare(w, enumRes, opt)
+	if err != nil {
+		return err
+	}
+	return p.Solve()
+}
