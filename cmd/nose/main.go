@@ -5,12 +5,14 @@
 //
 // Usage:
 //
-//	nose -in workload.nose [-space bytes] [-mix name] [-max-plans n] [-workers n] [-faults] [-v]
+//	nose -in workload.nose [-space bytes] [-mix name] [-max-plans n] [-workers n] [-faults] [-rf n] [-v]
 //
 // With -faults the report includes each query's failover readiness:
 // how many executable alternative plans the recommended schema keeps,
 // i.e. how many column families can fail before the query becomes
-// unavailable.
+// unavailable. With -rf it also prints the node-failure tolerance of a
+// replicated deployment at each consistency level (see
+// internal/backend.ReplicatedStore).
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"os"
 	"time"
 
+	"nose/internal/executor"
 	"nose/internal/nosedsl"
 	"nose/internal/planner"
 	"nose/internal/search"
@@ -32,6 +35,7 @@ func main() {
 	maxPlans := flag.Int("max-plans", planner.DefaultMaxPlansPerQuery, "plan space bound per query")
 	workers := flag.Int("workers", 0, "advisor worker goroutines; 0 means all CPUs (the recommendation is identical for every value)")
 	faultsReport := flag.Bool("faults", false, "print each query's failover readiness (executable alternative plans)")
+	rf := flag.Int("rf", 0, "with -faults: also print node-failure tolerance for a replicated deployment at this replication factor")
 	verbose := flag.Bool("v", false, "print update maintenance plans and timings")
 	flag.Parse()
 
@@ -80,6 +84,14 @@ func main() {
 				note = "  (no alternative: one failed column family makes this query unavailable)"
 			}
 			fmt.Printf("  %-60s %d plan(s)%s\n", workload.Label(qr.Statement.Statement), alts, note)
+		}
+		if *rf > 0 {
+			fmt.Printf("\nReplication tolerance at RF=%d (node failures a replica set survives per partition):\n", *rf)
+			for _, level := range []executor.Consistency{executor.One, executor.Quorum, executor.All} {
+				tolerated := *rf - level.Required(*rf)
+				fmt.Printf("  %-8s requires %d/%d replicas: tolerates %d node(s) down\n",
+					level, level.Required(*rf), *rf, tolerated)
+			}
 		}
 	}
 

@@ -4,17 +4,23 @@
 //	nosebench -experiment fig11 [-users 20000] [-executions 50]
 //	nosebench -experiment fig12 [-users 20000] [-executions 50]
 //	nosebench -experiment fig13 [-factors 5]
-//	nosebench -experiment chaos [-faults 0,0.005,0.02,0.05] [-fault-seed 7]
+//	nosebench -experiment chaos [-faults 0,0.005,0.02,0.05] [-seed 7]
+//	nosebench -experiment quorum [-faults 0,0.02,0.05,0.1] [-seed 7] [-nodes 5] [-rf 3]
 //
 // Every experiment accepts -workers n to bound advisor parallelism
 // (0 uses all CPUs; results are identical for every value), and
-// -cpuprofile/-memprofile to write pprof profiles of the run.
+// -cpuprofile/-memprofile to write pprof profiles of the run. The
+// fault-driven experiments (chaos, quorum) take a single -seed that
+// makes every published table reproducible bit for bit.
 //
 // Fig. 11: per-transaction response times for the RUBiS bidding
 // workload on the NoSE, normalized, and expert schemas. Fig. 12:
 // weighted average response times across workload mixes. Fig. 13:
 // advisor runtime versus workload scale factor. Chaos: graceful
 // degradation of the three schemas under injected store faults.
+// Quorum: the availability/consistency trade of the NoSE schema on a
+// replicated cluster (ONE/QUORUM/ALL, hedged reads, hinted handoff,
+// read repair) under node-level faults.
 package main
 
 import (
@@ -34,15 +40,17 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig11", "fig11, fig12, fig13, budget, ablation or chaos")
+	experiment := flag.String("experiment", "fig11", "fig11, fig12, fig13, budget, ablation, chaos or quorum")
 	users := flag.Int("users", 20_000, "RUBiS users (the paper used 200000)")
 	executions := flag.Int("executions", 50, "measured executions per transaction type")
 	factors := flag.Int("factors", 4, "max scale factor for fig13 (the paper used 10; factors above 3 can take tens of minutes with the built-in solver)")
 	maxPlans := flag.Int("max-plans", 24, "plan space bound per query for the advisor")
 	maxNodes := flag.Int("max-nodes", 500, "branch and bound node budget per solve")
 	workers := flag.Int("workers", 0, "advisor worker goroutines; 0 means all CPUs (results are identical for every value)")
-	faultRates := flag.String("faults", "", "comma-separated fault rates for the chaos experiment (default 0,0.005,0.02,0.05)")
-	faultSeed := flag.Int64("fault-seed", 7, "fault injector seed for the chaos experiment")
+	faultRates := flag.String("faults", "", "comma-separated fault rates for the chaos and quorum experiments")
+	seed := flag.Int64("seed", 7, "fault seed for the chaos and quorum experiments; the same seed reproduces a table bit for bit")
+	nodes := flag.Int("nodes", 5, "cluster size for the quorum experiment")
+	rf := flag.Int("rf", 3, "replication factor for the quorum experiment")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -121,12 +129,29 @@ func main() {
 		res, err := experiments.RunChaos(experiments.ChaosConfig{
 			Base:  cfg,
 			Rates: rates,
-			Seed:  *faultSeed,
+			Seed:  *seed,
 		})
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println("Chaos — graceful degradation under injected store faults (bidding workload)")
+		fmt.Print(res.Format())
+	case "quorum":
+		rates, err := parseRates(*faultRates)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := experiments.RunQuorum(experiments.QuorumConfig{
+			Base:  cfg,
+			Rates: rates,
+			Nodes: *nodes,
+			RF:    *rf,
+			Seed:  *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Quorum — availability/consistency sweep on a replicated cluster (NoSE schema, bidding workload)")
 		fmt.Print(res.Format())
 	case "fig13":
 		res, err := experiments.RunFig13(experiments.Fig13Config{

@@ -190,10 +190,18 @@ func DefFromIndex(x *schema.Index) ColumnFamilyDef {
 	return def
 }
 
+// Installer is the write surface Install needs: *Store satisfies it
+// (single-node install) and so does *ReplicatedStore (every record
+// lands on all RF replicas of its partition).
+type Installer interface {
+	Create(def ColumnFamilyDef) error
+	Put(name string, partition, clustering []Value, values []Value) (*PutResult, error)
+}
+
 // Install creates the column family for x and materializes its records
 // from the dataset: one record per combination of connected entities
 // along x's path.
-func (d *Dataset) Install(s *Store, x *schema.Index) error {
+func (d *Dataset) Install(s Installer, x *schema.Index) error {
 	if x.Name == "" {
 		return fmt.Errorf("backend: index %s has no name", x)
 	}

@@ -181,6 +181,12 @@ func (e *Executor) retryOp(bgt *stmtBudget, cf string, do func() (float64, error
 			return total, fmt.Errorf("retry budget (%.0fms) exhausted: %w", e.retry.BudgetMillis, err)
 		}
 		backoff := e.retry.backoffFor(cf, attempt, bgt.ops)
+		// Never charge past the budget: the final backoff truncates to
+		// the remaining allowance, so backoff spend lands exactly on
+		// BudgetMillis instead of overshooting the charged SimMillis.
+		if rem := e.retry.BudgetMillis - bgt.spentMillis; backoff > rem {
+			backoff = rem
+		}
 		total += backoff
 		bgt.spentMillis += backoff
 		e.metrics.addRetry(backoff, wasted)

@@ -172,3 +172,53 @@ func TestBackoffCapAndJitterBounds(t *testing.T) {
 		t.Error("jitter did not vary with the operation counter")
 	}
 }
+
+// TestRetryOpBudgetBoundaryExact is the regression test for backoff
+// budget accounting: the final backoff truncates to the remaining
+// allowance, so a statement that spends its whole budget on backoff
+// charges exactly BudgetMillis — never a cap-sized overshoot past it.
+func TestRetryOpBudgetBoundaryExact(t *testing.T) {
+	p := RetryPolicy{
+		MaxAttempts:       1000,
+		BaseBackoffMillis: 4,
+		MaxBackoffMillis:  8,
+		BudgetMillis:      10,
+	}
+	e := retryingExecutor(p)
+	bgt := &stmtBudget{}
+	// The fault itself wastes no simulated time, so every charged
+	// millisecond is backoff and the total is exactly the budget spend.
+	total, err := e.retryOp(bgt, "cf", func() (float64, error) {
+		return 0, &faults.Error{Kind: faults.Transient, CF: "cf", Op: "get"}
+	})
+	if err == nil || !strings.Contains(err.Error(), "retry budget") {
+		t.Fatalf("err = %v, want retry budget exhausted", err)
+	}
+	if total != p.BudgetMillis {
+		t.Errorf("charged %v ms, want exactly BudgetMillis %v", total, p.BudgetMillis)
+	}
+	if bgt.spentMillis != p.BudgetMillis {
+		t.Errorf("budget spend %v, want exactly %v", bgt.spentMillis, p.BudgetMillis)
+	}
+	if m := e.Metrics(); m.BackoffMillis != p.BudgetMillis {
+		t.Errorf("backoff charged %v, want exactly %v", m.BackoffMillis, p.BudgetMillis)
+	}
+}
+
+// TestRetryOpBudgetNeverOvershoots sweeps budgets against a wasteless
+// fault and checks no configuration charges past its own budget.
+func TestRetryOpBudgetNeverOvershoots(t *testing.T) {
+	for _, budget := range []float64{1, 2.5, 7, 10, 33.25, 100} {
+		p := RetryPolicy{MaxAttempts: 1000, BaseBackoffMillis: 4, MaxBackoffMillis: 16, BudgetMillis: budget}
+		e := retryingExecutor(p)
+		total, err := e.retryOp(&stmtBudget{}, "cf", func() (float64, error) {
+			return 0, &faults.Error{Kind: faults.Transient, CF: "cf", Op: "get"}
+		})
+		if err == nil {
+			t.Fatalf("budget %v: expected exhaustion", budget)
+		}
+		if total > budget {
+			t.Errorf("budget %v: charged %v ms past the budget", budget, total)
+		}
+	}
+}

@@ -190,3 +190,89 @@ func TestRunFig13SmallFactors(t *testing.T) {
 		t.Error("format output incomplete")
 	}
 }
+
+// TestRunQuorumDeterministicSweep drives the availability/consistency
+// sweep at tiny scale and pins its contract: identical config and seed
+// reproduce the result bit for bit (at any advisor worker count), ALL
+// goes unavailable under node faults no more rarely than QUORUM loses
+// data freshness, and a healthy cluster serves every level cleanly.
+func TestRunQuorumDeterministicSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow")
+	}
+	cfg := experiments.QuorumConfig{
+		Base: experiments.Fig11Config{
+			RUBiS:      rubis.Config{Users: 200, Seed: 1},
+			Executions: 3,
+			Advisor:    fastOptions(),
+		},
+		Rates: []float64{0, 0.05},
+		Seed:  7,
+	}
+	res, err := experiments.RunQuorum(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	if res.Nodes != 5 || res.RF != 3 {
+		t.Fatalf("cluster shape %d/%d, want default 5 nodes RF 3", res.Nodes, res.RF)
+	}
+
+	// Rate 0: every consistency level completes everything, nothing is
+	// stale, nothing is unavailable.
+	for _, level := range res.Levels {
+		c := res.Rows[0].Cells[level.String()]
+		if c.Completed == 0 || c.Unavailable != 0 {
+			t.Errorf("rate 0 at %v: completed=%d unavailable=%d", level, c.Completed, c.Unavailable)
+		}
+		if c.StaleReadRate != 0 {
+			t.Errorf("rate 0 at %v: stale read rate %v", level, c.StaleReadRate)
+		}
+		if c.P50Millis <= 0 || c.P99Millis < c.P50Millis {
+			t.Errorf("rate 0 at %v: bad percentiles p50=%v p99=%v", level, c.P50Millis, c.P99Millis)
+		}
+	}
+
+	// Under node faults the coordinator must have fanned out to
+	// replicas and paid for the weather somewhere.
+	for _, level := range res.Levels {
+		c := res.Rows[1].Cells[level.String()]
+		if c.Report.Replica.ReplicaReads == 0 || c.Report.NodeFaults.Ops == 0 {
+			t.Errorf("rate 0.05 at %v: replica/node counters empty: %+v", level, c.Report)
+		}
+	}
+
+	// Identical config and seed reproduce the sweep bit for bit.
+	again, err := experiments.RunQuorum(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, again) {
+		t.Error("same seed produced a different quorum sweep")
+	}
+
+	// ... and the advisor worker count must not leak into the result.
+	workers := cfg
+	workers.Base.Advisor.Workers = 2
+	cfg.Base.Advisor.Workers = 1
+	one, err := experiments.RunQuorum(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := experiments.RunQuorum(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(one, two) {
+		t.Error("advisor worker count changed the quorum sweep")
+	}
+
+	out := res.Format()
+	for _, want := range []string{"cluster: 5 nodes, RF 3", "ONE", "QUORUM", "ALL", "p99(ms)", "Stale"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format output missing %q:\n%s", want, out)
+		}
+	}
+}

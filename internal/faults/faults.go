@@ -66,6 +66,10 @@ type Error struct {
 	CF string
 	// Op names the operation ("get", "put", "delete").
 	Op string
+	// Node is the simulated node the fault struck, for node-level fault
+	// domains (see Nodes); negative when the fault is not attributable
+	// to one node (per-family faults, coordinator-level failures).
+	Node int
 	// SimMillis is the simulated service time wasted on the failed
 	// operation (e.g. the full timeout for Timeout faults). Callers
 	// must charge it into their response time accounting.
@@ -74,6 +78,9 @@ type Error struct {
 
 // Error implements error.
 func (e *Error) Error() string {
+	if e.Node >= 0 {
+		return fmt.Sprintf("faults: %s on %s %q node %d (%.1fms wasted)", e.Kind, e.Op, e.CF, e.Node, e.SimMillis)
+	}
 	return fmt.Sprintf("faults: %s on %s %q (%.1fms wasted)", e.Kind, e.Op, e.CF, e.SimMillis)
 }
 
@@ -285,7 +292,7 @@ func (i *Injector) decide(cf, op string) (*Error, float64) {
 
 	if st.manualDown || st.ops <= st.downUntil {
 		i.counts.Unavailables++
-		return &Error{Kind: Unavailable, CF: cf, Op: op, SimMillis: p.TransientMillis}, 1
+		return &Error{Kind: Unavailable, CF: cf, Op: op, Node: -1, SimMillis: p.TransientMillis}, 1
 	}
 	// One draw per operation, partitioned into fault bands, keeps the
 	// stream deterministic regardless of which band fires.
@@ -293,14 +300,14 @@ func (i *Injector) decide(cf, op string) (*Error, float64) {
 	switch {
 	case r < p.TransientRate:
 		i.counts.Transients++
-		return &Error{Kind: Transient, CF: cf, Op: op, SimMillis: p.TransientMillis}, 1
+		return &Error{Kind: Transient, CF: cf, Op: op, Node: -1, SimMillis: p.TransientMillis}, 1
 	case r < p.TransientRate+p.TimeoutRate:
 		i.counts.Timeouts++
-		return &Error{Kind: Timeout, CF: cf, Op: op, SimMillis: p.TimeoutMillis}, 1
+		return &Error{Kind: Timeout, CF: cf, Op: op, Node: -1, SimMillis: p.TimeoutMillis}, 1
 	case r < p.TransientRate+p.TimeoutRate+p.UnavailableRate:
 		st.downUntil = st.ops + int64(p.UnavailableOps)
 		i.counts.Unavailables++
-		return &Error{Kind: Unavailable, CF: cf, Op: op, SimMillis: p.TransientMillis}, 1
+		return &Error{Kind: Unavailable, CF: cf, Op: op, Node: -1, SimMillis: p.TransientMillis}, 1
 	}
 	return nil, p.LatencyFactor
 }

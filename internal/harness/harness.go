@@ -41,10 +41,18 @@ type System struct {
 	Name string
 	// Rec is the recommendation the system implements.
 	Rec *search.Recommendation
-	// Store holds the installed column families.
+	// Store holds the installed column families; nil for replicated
+	// systems (see Repl).
 	Store *backend.Store
+	// Repl holds the installed column families of a replicated system
+	// built with NewReplicatedSystem; nil for single-store systems.
+	Repl *backend.ReplicatedStore
+	// Coord drives Repl with quorum consistency; nil for single-store
+	// systems.
+	Coord *executor.Coordinator
 	// Exec executes plans against Store (or against the fault injector
-	// once EnableFaults has wrapped it).
+	// once EnableFaults has wrapped it, or against Coord for replicated
+	// systems).
 	Exec *executor.Executor
 
 	lat        cost.Params
@@ -55,7 +63,8 @@ type System struct {
 	planLists map[workload.Statement][]*planner.Plan
 	writeRecs map[workload.Statement][]*search.UpdateRecommendation
 
-	inj *faults.Injector
+	inj     *faults.Injector
+	nodeInj *faults.Nodes
 
 	mu     sync.Mutex
 	down   map[string]bool
@@ -71,11 +80,77 @@ func NewSystem(name string, ds *backend.Dataset, rec *search.Recommendation, lat
 			return nil, fmt.Errorf("harness: installing %s for %s: %w", x.Name, name, err)
 		}
 	}
+	s := newSystem(name, rec, lat)
+	s.Store = store
+	s.Exec = executor.New(store, lat)
+	return s, nil
+}
+
+// ReplicationConfig shapes a replicated system: cluster size,
+// replication factor, and the consistency levels its coordinator
+// enforces.
+type ReplicationConfig struct {
+	// Nodes is the cluster size; zero means DefaultReplicationNodes.
+	Nodes int
+	// RF is the replication factor; zero means DefaultReplicationFactor
+	// (clamped to Nodes).
+	RF int
+	// Read and Write are the coordinator's consistency levels.
+	Read, Write executor.Consistency
+	// Hedge configures speculative reads.
+	Hedge executor.HedgePolicy
+}
+
+// Default replication shape: a small cluster with the RF the paper's
+// target systems ship as their availability default.
+const (
+	DefaultReplicationNodes  = 5
+	DefaultReplicationFactor = 3
+)
+
+// Normalized fills replication defaults.
+func (c ReplicationConfig) Normalized() ReplicationConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = DefaultReplicationNodes
+	}
+	if c.RF <= 0 {
+		c.RF = DefaultReplicationFactor
+	}
+	return c
+}
+
+// NewReplicatedSystem installs a recommendation's schema into a fresh
+// replicated cluster: every partition lands on its RF ring replicas,
+// and statements execute through a quorum coordinator. On a healthy
+// cluster at consistency ALL, execution is indistinguishable from a
+// single-store System — same rows, same simulated time — because every
+// replica charges the same deterministic service times; degradation
+// appears only once node faults are enabled.
+func NewReplicatedSystem(name string, ds *backend.Dataset, rec *search.Recommendation, lat cost.Params, cfg ReplicationConfig) (*System, error) {
+	cfg = cfg.Normalized()
+	repl := backend.NewReplicatedStore(lat, cfg.Nodes, cfg.RF)
+	for _, x := range rec.Schema.Indexes() {
+		if err := ds.Install(repl, x); err != nil {
+			return nil, fmt.Errorf("harness: installing %s for %s: %w", x.Name, name, err)
+		}
+	}
+	coord := executor.NewCoordinator(repl, executor.CoordinatorOptions{
+		Read:  cfg.Read,
+		Write: cfg.Write,
+		Hedge: cfg.Hedge,
+	})
+	s := newSystem(name, rec, lat)
+	s.Repl = repl
+	s.Coord = coord
+	s.Exec = executor.New(coord, lat)
+	return s, nil
+}
+
+// newSystem builds the plan bookkeeping shared by both storage modes.
+func newSystem(name string, rec *search.Recommendation, lat cost.Params) *System {
 	s := &System{
 		Name:       name,
 		Rec:        rec,
-		Store:      store,
-		Exec:       executor.New(store, lat),
 		lat:        lat,
 		queryPlans: map[workload.Statement]*planner.Plan{},
 		planLists:  map[workload.Statement][]*planner.Plan{},
@@ -96,19 +171,61 @@ func NewSystem(name string, ds *backend.Dataset, rec *search.Recommendation, lat
 		st := ur.Statement.Statement
 		s.writeRecs[st] = append(s.writeRecs[st], ur)
 	}
-	return s, nil
+	return s
 }
 
 // EnableFaults interposes a deterministic fault injector between the
 // executor and the store and switches execution to the retrying
 // executor. It returns the injector so callers can set per-family
 // profiles or mark families down. Call before executing statements.
+// On a replicated system the injector layers per-family weather on top
+// of the coordinator, above any node-level faults.
 func (s *System) EnableFaults(seed int64, def faults.Profile, policy executor.RetryPolicy) *faults.Injector {
-	inj := faults.New(s.Store, seed)
+	var inner backend.KVBackend = s.Store
+	if s.Coord != nil {
+		inner = s.Coord
+	}
+	inj := faults.New(inner, seed)
 	inj.SetDefaultProfile(def)
 	s.inj = inj
 	s.Exec = executor.NewRetrying(inj, s.lat, policy)
 	return inj
+}
+
+// EnableNodeFaults attaches seeded node-level fault domains to a
+// replicated system's coordinator and switches execution to the
+// retrying executor. It returns the fault set so callers can set
+// per-node profiles or mark nodes down. Panics on a single-store
+// system — node fault domains only exist under replication.
+func (s *System) EnableNodeFaults(seed int64, def faults.NodeProfile, policy executor.RetryPolicy) *faults.Nodes {
+	if s.Repl == nil || s.Coord == nil {
+		panic("harness: EnableNodeFaults on a non-replicated system; use NewReplicatedSystem")
+	}
+	ns := faults.NewNodes(seed, s.Repl.NodeCount())
+	ns.SetDefaultProfile(def)
+	s.nodeInj = ns
+	s.Coord.SetNodes(ns)
+	s.Exec = executor.NewRetrying(s.Coord, s.lat, policy)
+	return ns
+}
+
+// MarkNodeDown takes a whole node out of service on a replicated
+// system: every replica operation against it fails Unavailable until
+// MarkNodeUp, and its missed writes queue as hints. Requires
+// EnableNodeFaults first.
+func (s *System) MarkNodeDown(node int) error {
+	if s.nodeInj == nil {
+		return fmt.Errorf("harness: MarkNodeDown(%d): node faults not enabled", node)
+	}
+	return s.nodeInj.MarkDown(node)
+}
+
+// MarkNodeUp returns a node to service.
+func (s *System) MarkNodeUp(node int) error {
+	if s.nodeInj == nil {
+		return fmt.Errorf("harness: MarkNodeUp(%d): node faults not enabled", node)
+	}
+	return s.nodeInj.MarkUp(node)
 }
 
 // MarkDown takes a column family out of service: query plans touching

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"nose/internal/executor"
 	"nose/internal/faults"
 )
 
@@ -37,12 +38,26 @@ type RobustnessReport struct {
 	// Injected reports the fault injector's raw counts; zero when
 	// faults were never enabled.
 	Injected faults.Counts
+	// Replica reports the quorum coordinator's counters — hedges,
+	// hints, read repairs, stale reads — for replicated systems; zero
+	// otherwise.
+	Replica executor.ReplicaStats
+	// NodeFaults reports the node-level fault domains' raw counts;
+	// zero when node faults were never enabled.
+	NodeFaults faults.NodeCounts
 }
 
-// String renders the report as a one-line summary.
+// String renders the report as a one-line summary; replicated systems
+// get a second line with the coordination ledger.
 func (r RobustnessReport) String() string {
-	return fmt.Sprintf("%d statements: %d retries, %d failovers, %d unavailable, %d degraded (%.1f degraded ms)",
+	s := fmt.Sprintf("%d statements: %d retries, %d failovers, %d unavailable, %d degraded (%.1f degraded ms)",
 		r.Statements, r.Retries, r.Failovers, r.Unavailable, r.DegradedStatements, r.DegradedMillis)
+	if r.Replica != (executor.ReplicaStats{}) {
+		s += fmt.Sprintf("\nreplication: %d/%d stale reads, %d hints queued, %d replayed, %d read repairs, %d/%d hedge wins",
+			r.Replica.StaleReads, r.Replica.Reads, r.Replica.HintsQueued, r.Replica.HintsReplayed,
+			r.Replica.ReadRepairs, r.Replica.HedgeWins, r.Replica.Hedges)
+	}
+	return s
 }
 
 // robustCounters is the harness-level half of the report.
@@ -88,6 +103,12 @@ func (s *System) Robustness() RobustnessReport {
 	s.robust.mu.Unlock()
 	if s.inj != nil {
 		r.Injected = s.inj.Counts()
+	}
+	if s.Coord != nil {
+		r.Replica = s.Coord.Stats()
+	}
+	if s.nodeInj != nil {
+		r.NodeFaults = s.nodeInj.Counts()
 	}
 	return r
 }

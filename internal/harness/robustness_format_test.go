@@ -1,0 +1,87 @@
+package harness_test
+
+import (
+	"testing"
+
+	"nose/internal/executor"
+	"nose/internal/harness"
+)
+
+// Golden strings for the robustness summary: downstream tooling greps
+// these lines out of experiment logs, so the format is pinned exactly.
+func TestRobustnessReportStringGolden(t *testing.T) {
+	plain := harness.RobustnessReport{
+		Statements:         120,
+		Retries:            7,
+		Failovers:          3,
+		Unavailable:        2,
+		DegradedStatements: 9,
+		DegradedMillis:     41.25,
+	}
+	want := "120 statements: 7 retries, 3 failovers, 2 unavailable, 9 degraded (41.2 degraded ms)"
+	if got := plain.String(); got != want {
+		t.Errorf("plain report:\n got %q\nwant %q", got, want)
+	}
+
+	replicated := plain
+	replicated.Replica = executor.ReplicaStats{
+		Reads:         80,
+		Writes:        40,
+		ReplicaReads:  95,
+		ReplicaWrites: 120,
+		StaleReads:    4,
+		HintsQueued:   6,
+		HintsReplayed: 6,
+		ReadRepairs:   2,
+		Hedges:        5,
+		HedgeWins:     3,
+	}
+	want += "\nreplication: 4/80 stale reads, 6 hints queued, 6 replayed, 2 read repairs, 3/5 hedge wins"
+	if got := replicated.String(); got != want {
+		t.Errorf("replicated report:\n got %q\nwant %q", got, want)
+	}
+
+	// The zero report still formats — the empty replica ledger stays off
+	// the summary entirely.
+	zero := harness.RobustnessReport{}
+	wantZero := "0 statements: 0 retries, 0 failovers, 0 unavailable, 0 degraded (0.0 degraded ms)"
+	if got := zero.String(); got != wantZero {
+		t.Errorf("zero report:\n got %q\nwant %q", got, wantZero)
+	}
+}
+
+// TestRobustnessFailoverCountersGolden pins the exact counter values a
+// deterministic failover scenario produces: one healthy execution, one
+// rerouted execution (one failover, degraded), one unavailable
+// execution with every family down.
+func TestRobustnessFailoverCountersGolden(t *testing.T) {
+	f := newRedundantFixture(t)
+	if _, err := f.sys.ExecStatement(f.query, f.params); err != nil {
+		t.Fatal(err)
+	}
+	f.sys.MarkDown(planCF(t, f.plans[0]))
+	if _, err := f.sys.ExecStatement(f.query, f.params); err != nil {
+		t.Fatal(err)
+	}
+	f.sys.MarkDown(planCF(t, f.plans[1]))
+	if _, err := f.sys.ExecStatement(f.query, f.params); err == nil {
+		t.Fatal("expected unavailability with every family down")
+	}
+
+	r := f.sys.Robustness()
+	if r.Statements != 3 || r.Failovers != 3 || r.Unavailable != 1 || r.DegradedStatements != 2 {
+		t.Errorf("counters = %d statements, %d failovers, %d unavailable, %d degraded; want 3, 3, 1, 2",
+			r.Statements, r.Failovers, r.Unavailable, r.DegradedStatements)
+	}
+	want := "3 statements: 0 retries, 3 failovers, 1 unavailable, 2 degraded"
+	if got := r.String(); len(got) < len(want) || got[:len(want)] != want {
+		t.Errorf("report string:\n got %q\nwant prefix %q", got, want)
+	}
+
+	// The replicated ledger is absent on a single-store system: one line.
+	for _, c := range r.String() {
+		if c == '\n' {
+			t.Error("single-store report should be one line")
+		}
+	}
+}

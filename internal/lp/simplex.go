@@ -53,7 +53,7 @@ type Solver struct {
 	invData [2][]float64
 	invRows [2][][]float64
 	invCur  int
-	bData   []float64   // basis matrix scratch for refactorization
+	bData   []float64 // basis matrix scratch for refactorization
 	bRows   [][]float64
 
 	single []Entry // backing for slack/artificial single-entry columns

@@ -1,0 +1,64 @@
+package nosedsl
+
+import (
+	"os"
+	"testing"
+)
+
+// FuzzParse drives the .nose parser with arbitrary input. The parser
+// is the system's untrusted front door — workload files come from
+// users — so whatever the bytes, Parse must return a value or an error
+// in bounded time: no panics, no hangs, no runaway allocation.
+//
+// Run the smoke pass with:
+//
+//	go test -fuzz=FuzzParse -fuzztime=10s ./internal/nosedsl
+func FuzzParse(f *testing.F) {
+	// Seed with the shipped example workload plus fragments covering
+	// every statement form the grammar knows.
+	if src, err := os.ReadFile("../../testdata/hotel.nose"); err == nil {
+		f.Add(string(src))
+	}
+	seeds := []string{
+		"",
+		"# comment only\n",
+		"entity User UserID 100\n",
+		"entity User UserID 100\nattr User.Name string\n",
+		"entity User UserID 100\nattr User.Age integer cardinality 50\n",
+		"entity A AID 1\nentity B BID 2\nrel A.Bs B.A one-to-many\n",
+		"entity User UserID 10\nattr User.Name string\n" +
+			"stmt 1.0 Q: SELECT User.Name FROM User WHERE User.UserID = ?id\n",
+		"entity User UserID 10\nattr User.Name string\n" +
+			"stmt 0.5 I: INSERT INTO User SET UserID = ?id, Name = ?n\n",
+		"entity User UserID 10\n" +
+			"stmt 0.2 D: DELETE FROM User WHERE User.UserID = ?id\n",
+		"entity User UserID 10\nattr User.Name string\n" +
+			"stmt 0.3 U: UPDATE User FROM User SET Name = ? WHERE User.UserID = ?id\n",
+		"mix busy Q=2 I=1\n",
+		// Malformed fragments: the error paths are the fuzz target's bread
+		// and butter.
+		"entity\n",
+		"attr Nope.Name string\n",
+		"stmt NaN Q: SELECT\n",
+		"stmt 1.0 Q: SELECT User.Name FROM User WHERE\n",
+		"rel A.Bs B.A many-to-many-to-many\n",
+		"entity User UserID 100 entity User UserID 100\n",
+		"\x00\xff\xfe",
+		"stmt 1e308 Q: SELECT A.B FROM A WHERE A.B = ?x\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		// Bound the input so a single case cannot time the harness out on
+		// sheer volume; the parser is line-oriented and near-linear.
+		if len(src) > 1<<16 {
+			t.Skip()
+		}
+		g, w, err := Parse(src)
+		if err == nil && (g == nil || w == nil) {
+			t.Fatalf("Parse returned no error but nil results (g=%v w=%v)", g, w)
+		}
+	})
+}
