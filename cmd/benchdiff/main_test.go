@@ -1,0 +1,143 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseRawBenchText(t *testing.T) {
+	path := writeTemp(t, "bench.txt", `
+goos: linux
+BenchmarkAdvisorRUBiS-4            3   104224297 ns/op   28183010 B/op   446353 allocs/op
+BenchmarkAdvisorSolve/workers=1-4  3    14553616 ns/op    1695146 B/op
+BenchmarkAdvisorSolve/workers=2-4  3    15000000 ns/op    1700000 B/op    14000 allocs/op
+PASS
+`)
+	res, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := res["AdvisorRUBiS"]
+	if !ok {
+		t.Fatalf("AdvisorRUBiS missing: %v", res)
+	}
+	if r.NsPerOp != 104224297 {
+		t.Errorf("ns/op = %v, want 104224297", r.NsPerOp)
+	}
+	if r.AllocsPerOp != 446353 {
+		t.Errorf("allocs/op = %v, want 446353", r.AllocsPerOp)
+	}
+	if _, ok := res["AdvisorSolve/workers=1"]; !ok {
+		t.Errorf("sub-benchmark with stripped -GOMAXPROCS suffix missing: %v", res)
+	}
+	if res["AdvisorSolve/workers=2"].AllocsPerOp != 14000 {
+		t.Errorf("workers=2 allocs = %v", res["AdvisorSolve/workers=2"].AllocsPerOp)
+	}
+}
+
+func TestParseTestJSONStream(t *testing.T) {
+	// test2json splits one bench line across events: the padded name
+	// flushes first, the measurements follow in a later event, possibly
+	// interleaved with another package's output.
+	path := writeTemp(t, "bench.json", strings.Join([]string{
+		`{"Action":"start","Package":"nose"}`,
+		`{"Action":"output","Package":"nose","Output":"BenchmarkSimplex-4   \t"}`,
+		`{"Action":"output","Package":"other","Output":"BenchmarkOther-4   3   1000 ns/op   5 allocs/op\n"}`,
+		`{"Action":"output","Package":"nose","Output":"   3   2500000 ns/op   120000 B/op   900 allocs/op\n"}`,
+		`{"Action":"output","Package":"nose","Output":"ok  \tnose\t1.2s\n"}`,
+		`{"Action":"pass","Package":"nose"}`,
+	}, "\n"))
+	res, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := res["Simplex"]
+	if !ok {
+		t.Fatalf("Simplex missing: %v", res)
+	}
+	if r.NsPerOp != 2500000 || r.AllocsPerOp != 900 {
+		t.Errorf("got %+v", r)
+	}
+	if res["Other"].NsPerOp != 1000 {
+		t.Errorf("interleaved package lost: %v", res)
+	}
+}
+
+func TestDuplicateRunsKeepMinimum(t *testing.T) {
+	path := writeTemp(t, "bench.txt", `
+BenchmarkSimplex-4   3   3000000 ns/op   1000 allocs/op
+BenchmarkSimplex-4   3   2000000 ns/op   1200 allocs/op
+`)
+	res, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := res["Simplex"]; r.NsPerOp != 2000000 || r.AllocsPerOp != 1000 {
+		t.Errorf("want per-metric minimum, got %+v", r)
+	}
+}
+
+func TestDiffGating(t *testing.T) {
+	base := map[string]result{
+		"AdvisorSolve/workers=1": {NsPerOp: 100, AllocsPerOp: 10},
+		"AdvisorRUBiS":           {NsPerOp: 100, AllocsPerOp: 10},
+		"Ungated":                {NsPerOp: 100, AllocsPerOp: 10},
+	}
+	gated := map[string]bool{"AdvisorSolve": true, "AdvisorRUBiS": true}
+
+	// Within tolerance: +20% on a gated benchmark passes at 25%.
+	cur := map[string]result{
+		"AdvisorSolve/workers=1": {NsPerOp: 120, AllocsPerOp: 10},
+		"AdvisorRUBiS":           {NsPerOp: 100, AllocsPerOp: 10},
+		"Ungated":                {NsPerOp: 100, AllocsPerOp: 10},
+	}
+	if _, failures := diff(base, cur, gated, 0.25); len(failures) != 0 {
+		t.Errorf("within-tolerance run failed: %v", failures)
+	}
+
+	// A 2x slowdown on a gated sub-benchmark fails.
+	cur["AdvisorSolve/workers=1"] = result{NsPerOp: 200, AllocsPerOp: 10}
+	if _, failures := diff(base, cur, gated, 0.25); len(failures) != 1 {
+		t.Errorf("2x slowdown not caught: %v", failures)
+	}
+	cur["AdvisorSolve/workers=1"] = result{NsPerOp: 120, AllocsPerOp: 10}
+
+	// An allocation regression on a gated benchmark fails too.
+	cur["AdvisorRUBiS"] = result{NsPerOp: 100, AllocsPerOp: 20}
+	if _, failures := diff(base, cur, gated, 0.25); len(failures) != 1 {
+		t.Errorf("alloc regression not caught: %v", failures)
+	}
+	cur["AdvisorRUBiS"] = result{NsPerOp: 100, AllocsPerOp: 10}
+
+	// Ungated benchmarks may regress arbitrarily.
+	cur["Ungated"] = result{NsPerOp: 1000, AllocsPerOp: 1000}
+	if _, failures := diff(base, cur, gated, 0.25); len(failures) != 0 {
+		t.Errorf("ungated regression failed the gate: %v", failures)
+	}
+
+	// A gated benchmark missing from the current results fails.
+	delete(cur, "AdvisorRUBiS")
+	if _, failures := diff(base, cur, gated, 0.25); len(failures) != 1 {
+		t.Errorf("missing gated benchmark not caught: %v", failures)
+	}
+}
+
+func TestGateName(t *testing.T) {
+	if gateName("AdvisorSolve/workers=4") != "AdvisorSolve" {
+		t.Error("sub-benchmark gate name")
+	}
+	if gateName("Simplex") != "Simplex" {
+		t.Error("plain gate name")
+	}
+}

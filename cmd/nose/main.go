@@ -23,6 +23,7 @@ import (
 
 	"nose/internal/executor"
 	"nose/internal/nosedsl"
+	"nose/internal/obs"
 	"nose/internal/planner"
 	"nose/internal/search"
 	"nose/internal/workload"
@@ -37,6 +38,8 @@ func main() {
 	faultsReport := flag.Bool("faults", false, "print each query's failover readiness (executable alternative plans)")
 	rf := flag.Int("rf", 0, "with -faults: also print node-failure tolerance for a replicated deployment at this replication factor")
 	verbose := flag.Bool("v", false, "print update maintenance plans and timings")
+	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot of the advisor run to this file and print a summary")
+	tracePath := flag.String("trace", "", "write a Chrome trace (chrome://tracing, Perfetto) of the advisor stages to this file")
 	flag.Parse()
 
 	if *in == "" {
@@ -55,10 +58,21 @@ func main() {
 		w.ActiveMix = *mix
 	}
 
+	var reg *obs.Registry
+	if *metricsPath != "" {
+		reg = obs.NewRegistry()
+	}
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+	}
+
 	rec, err := search.Advise(w, search.Options{
 		Workers:          *workers,
 		SpaceBudgetBytes: *space,
 		Planner:          planner.Config{MaxPlansPerQuery: *maxPlans},
+		Obs:              reg,
+		Trace:            tracer,
 	})
 	if err != nil {
 		fatal(err)
@@ -109,6 +123,33 @@ func main() {
 			round(t.BIPSolving), round(t.Total))
 		fmt.Printf("Problem: %d candidates, %d plan variables, %d constraints, %d nodes\n",
 			rec.Stats.Candidates, rec.Stats.PlanVariables, rec.Stats.Constraints, rec.Stats.Nodes)
+	}
+
+	if reg != nil {
+		snap := reg.Snapshot()
+		data, err := snap.WriteJSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*metricsPath, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nMetrics (written to %s):\n%s", *metricsPath, snap.Format())
+	}
+	if tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracer.WriteTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %d events written to %s (load in chrome://tracing or https://ui.perfetto.dev)\n",
+			tracer.Len(), *tracePath)
 	}
 }
 

@@ -34,6 +34,7 @@ import (
 
 	"nose/internal/bip"
 	"nose/internal/experiments"
+	"nose/internal/obs"
 	"nose/internal/planner"
 	"nose/internal/rubis"
 	"nose/internal/search"
@@ -53,6 +54,8 @@ func main() {
 	rf := flag.Int("rf", 3, "replication factor for the quorum experiment")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot to this file and print a summary on exit")
+	tracePath := flag.String("trace", "", "write a Chrome trace (chrome://tracing, Perfetto) of the run to this file")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -80,16 +83,30 @@ func main() {
 		}()
 	}
 
+	var reg *obs.Registry
+	if *metricsPath != "" {
+		reg = obs.NewRegistry()
+	}
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+	}
+	defer writeObservability(*metricsPath, reg, *tracePath, tracer)
+
 	opts := search.Options{
 		Workers:         *workers,
 		Planner:         planner.Config{MaxPlansPerQuery: *maxPlans},
 		MaxSupportPlans: 6,
 		BIP:             bip.Options{MaxNodes: *maxNodes},
+		Obs:             reg,
+		Trace:           tracer,
 	}
 	cfg := experiments.Fig11Config{
 		RUBiS:      rubis.Config{Users: *users, Seed: 1},
 		Executions: *executions,
 		Advisor:    opts,
+		Obs:        reg,
+		Trace:      tracer,
 	}
 
 	switch *experiment {
@@ -187,6 +204,37 @@ func parseRates(s string) ([]float64, error) {
 		rates = append(rates, r)
 	}
 	return rates, nil
+}
+
+// writeObservability flushes the run's metrics snapshot and Chrome
+// trace to their files and prints the human-readable metrics summary.
+func writeObservability(metricsPath string, reg *obs.Registry, tracePath string, tracer *obs.Tracer) {
+	if reg != nil {
+		snap := reg.Snapshot()
+		data, err := snap.WriteJSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(metricsPath, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nMetrics (written to %s):\n%s", metricsPath, snap.Format())
+	}
+	if tracer != nil {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracer.WriteTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %d events written to %s (load in chrome://tracing or https://ui.perfetto.dev)\n",
+			tracer.Len(), tracePath)
+	}
 }
 
 func fatal(err error) {

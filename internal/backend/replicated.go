@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 
 	"nose/internal/cost"
+	"nose/internal/obs"
 )
 
 // ReplicatedStore places each column family's partitions on N simulated
@@ -54,6 +55,15 @@ func (r *ReplicatedStore) RF() int { return r.rf }
 
 // Node returns one node's store for replica-level access.
 func (r *ReplicatedStore) Node(i int) *Store { return r.nodes[i] }
+
+// SetObs routes every node store's operation counters into one
+// registry. Per-node counts sum into the shared store.* counters, so
+// the totals count replica-level operations across the cluster.
+func (r *ReplicatedStore) SetObs(reg *obs.Registry) {
+	for _, n := range r.nodes {
+		n.SetObs(reg)
+	}
+}
 
 // Create defines a column family on every node. Only the nodes a
 // partition is placed on ever hold its records.

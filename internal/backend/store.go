@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"nose/internal/cost"
+	"nose/internal/obs"
 )
 
 // ColumnFamilyDef defines one column family: the qualified attribute
@@ -35,6 +36,27 @@ type Store struct {
 	mu  sync.RWMutex
 	cfs map[string]*columnFamily
 	lat cost.Params
+	so  storeObs
+}
+
+// storeObs holds the store's registry instruments; the zero value is a
+// valid no-op set.
+type storeObs struct {
+	gets, puts, deletes, recordsRead *obs.Counter
+}
+
+// SetObs routes store-level operation counters into a registry:
+// store.gets / store.puts / store.deletes count operations served, and
+// store.records_read counts the rows returned by gets.
+func (s *Store) SetObs(r *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.so = storeObs{
+		gets:        r.Counter("store.gets"),
+		puts:        r.Counter("store.puts"),
+		deletes:     r.Counter("store.deletes"),
+		recordsRead: r.Counter("store.records_read"),
+	}
 }
 
 // NewStore creates an empty store whose operations are charged service
@@ -168,6 +190,8 @@ func (s *Store) Get(name string, req GetRequest) (*GetResult, error) {
 		})
 	}
 	res.SimMillis = s.lat.RequestCost + s.lat.PartitionCost + s.lat.RowCost*float64(len(res.Records))
+	s.so.gets.Inc()
+	s.so.recordsRead.Add(int64(len(res.Records)))
 	return res, nil
 }
 
@@ -258,6 +282,7 @@ func (s *Store) Put(name string, partition, clustering []Value, values []Value) 
 	tree.Set(clustering, values)
 	cf.mu.Unlock()
 	cells := float64(len(partition) + len(clustering) + len(values))
+	s.so.puts.Inc()
 	return &PutResult{SimMillis: s.lat.InsertRequestCost + s.lat.InsertCellCost*cells}, nil
 }
 
@@ -274,6 +299,7 @@ func (s *Store) Delete(name string, partition, clustering []Value) (bool, *PutRe
 		existed = tree.Delete(clustering)
 	}
 	cf.mu.Unlock()
+	s.so.deletes.Inc()
 	return existed, &PutResult{SimMillis: s.lat.DeleteRequestCost}, nil
 }
 

@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"nose/internal/lp"
+	"nose/internal/obs"
 	"nose/internal/par"
 )
 
@@ -109,6 +110,11 @@ type Options struct {
 	// so the explored tree, incumbent, objective, and node count are
 	// bit-identical for every worker count.
 	Workers int
+	// Obs, when non-nil, receives search counters (bip.* and the
+	// aggregated lp.* solver totals). Every counter recorded here is
+	// worker-count invariant: the explored tree is, and LP work sums
+	// commute across the per-worker solvers.
+	Obs *obs.Registry
 }
 
 // DefaultMaxNodes bounds the search when Options leaves MaxNodes zero.
@@ -195,6 +201,24 @@ func (p *Program) Solve(opt Options) (*Result, error) {
 		solvers[w] = lp.NewSolver()
 	}
 
+	// Publish the aggregated LP work on every exit path. Summing the
+	// per-worker solver stats is worker-count invariant because the set
+	// of relaxations solved is, and addition commutes.
+	defer func() {
+		var total lp.SolverStats
+		for _, s := range solvers {
+			total.Add(s.Stats())
+		}
+		opt.Obs.Counter("lp.solves").Add(total.Solves)
+		opt.Obs.Counter("lp.pivots").Add(total.Pivots)
+		opt.Obs.Counter("lp.degenerate_pivots").Add(total.DegeneratePivots)
+		opt.Obs.Counter("lp.refactors").Add(total.Refactors)
+	}()
+	nodesC := opt.Obs.Counter("bip.nodes")
+	batchesC := opt.Obs.Counter("bip.batches")
+	prunedC := opt.Obs.Counter("bip.pruned_bound")
+	incumbentsC := opt.Obs.Counter("bip.incumbents")
+
 	res := &Result{Status: Optimal}
 	incumbent := math.Inf(1)
 	var incumbentX []float64
@@ -203,6 +227,7 @@ func (p *Program) Solve(opt Options) (*Result, error) {
 		if obj < incumbent-1e-9 {
 			incumbent = obj
 			incumbentX = append(incumbentX[:0], x...)
+			incumbentsC.Inc()
 		}
 	}
 
@@ -318,14 +343,17 @@ func (p *Program) Solve(opt Options) (*Result, error) {
 		for open.Len() > 0 && len(batch) < batchWidth && res.Nodes < maxNodes {
 			nd := heap.Pop(open).(*node)
 			if nd.bound >= incumbent-gapSlack(opt.Gap, incumbent) {
+				prunedC.Inc()
 				continue // bound-dominated
 			}
 			res.Nodes++
+			nodesC.Inc()
 			batch = append(batch, batchItem{nd: nd, num: res.Nodes})
 		}
 		if len(batch) == 0 {
 			continue
 		}
+		batchesC.Inc()
 
 		par.DoWorker(len(batch), workers, func(w, i int) {
 			batch[i].sol, batch[i].err = solveWith(w, batch[i].nd.fixes)
@@ -341,6 +369,7 @@ func (p *Program) Solve(opt Options) (*Result, error) {
 				continue // infeasible or numerically stuck subtree
 			}
 			if sol.Objective >= incumbent-gapSlack(opt.Gap, incumbent) {
+				prunedC.Inc()
 				continue
 			}
 			col := p.mostFractional(sol.X, it.nd.fixes)

@@ -27,9 +27,10 @@ const cacheShards = 32
 // A nil *Cache is valid and caches nothing, so call sites need no
 // enablement branches.
 type Cache struct {
-	shards [cacheShards]cacheShard
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	shards     [cacheShards]cacheShard
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	contention atomic.Uint64
 }
 
 type cacheShard struct {
@@ -66,7 +67,13 @@ func (c *Cache) Get(key string) (Estimate, bool) {
 		return Estimate{}, false
 	}
 	sh := c.shardFor(key)
-	sh.mu.RLock()
+	// A failed TryRLock means another worker holds the shard's write
+	// lock right now — counted as contention so the shard count can be
+	// judged against real workloads.
+	if !sh.mu.TryRLock() {
+		c.contention.Add(1)
+		sh.mu.RLock()
+	}
 	e, ok := sh.m[key]
 	sh.mu.RUnlock()
 	if ok {
@@ -85,7 +92,10 @@ func (c *Cache) Put(key string, e Estimate) {
 		return
 	}
 	sh := c.shardFor(key)
-	sh.mu.Lock()
+	if !sh.mu.TryLock() {
+		c.contention.Add(1)
+		sh.mu.Lock()
+	}
 	sh.m[key] = e
 	sh.mu.Unlock()
 }
@@ -110,6 +120,9 @@ type CacheStats struct {
 	Hits uint64
 	// Misses is the number of Get calls that found nothing.
 	Misses uint64
+	// Contention is the number of lock acquisitions that had to wait
+	// because another worker held the shard.
+	Contention uint64
 	// Entries is the current number of memoized estimates.
 	Entries int
 }
@@ -120,8 +133,9 @@ func (c *Cache) Stats() CacheStats {
 		return CacheStats{}
 	}
 	return CacheStats{
-		Hits:    c.hits.Load(),
-		Misses:  c.misses.Load(),
-		Entries: c.Len(),
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Contention: c.contention.Load(),
+		Entries:    c.Len(),
 	}
 }

@@ -1,6 +1,7 @@
 package enumerator
 
 import (
+	"nose/internal/obs"
 	"nose/internal/par"
 	"nose/internal/schema"
 	"nose/internal/workload"
@@ -53,8 +54,18 @@ func EnumerateWorkloadWith(w *workload.Workload, feats Features) (*Result, error
 // and merging afterwards reproduces exactly the serial insertion
 // sequence.
 func EnumerateWorkloadParallel(w *workload.Workload, feats Features, workers int) (*Result, error) {
+	return EnumerateWorkloadObs(w, feats, workers, nil)
+}
+
+// EnumerateWorkloadObs is EnumerateWorkloadParallel with enumeration
+// counters recorded into r (which may be nil). Every enum.* counter is
+// worker-count invariant: local pool contents depend only on the query
+// enumerated, and the merged pool is byte-identical at every worker
+// count.
+func EnumerateWorkloadObs(w *workload.Workload, feats Features, workers int, r *obs.Registry) (*Result, error) {
 	pool := NewPool()
 	pool.feats = feats
+	emittedC := r.Counter("enum.candidates_emitted")
 
 	queries := w.Queries()
 	locals := make([]*Pool, len(queries))
@@ -65,10 +76,12 @@ func EnumerateWorkloadParallel(w *workload.Workload, feats Features, workers int
 		errs[i] = EnumerateQuery(local, queries[i].Statement.(*workload.Query))
 		locals[i] = local
 	})
+	r.Counter("enum.queries").Add(int64(len(queries)))
 	for i := range queries {
 		if errs[i] != nil {
 			return nil, errs[i]
 		}
+		emittedC.Add(int64(locals[i].Len()))
 		pool.merge(locals[i])
 	}
 
@@ -122,13 +135,20 @@ func EnumerateWorkloadParallel(w *workload.Workload, feats Features, workers int
 			})
 			for _, it := range items {
 				perIndex[it.x.ID()] = it.sqs
+				r.Counter("enum.support_queries").Add(int64(len(it.sqs)))
+				emittedC.Add(int64(it.pool.Len()))
 				pool.merge(it.pool)
 			}
 		}
 	}
 
 	if !feats.SkipCombine {
+		before := pool.Len()
 		Combine(pool)
+		r.Counter("enum.combined").Add(int64(pool.Len() - before))
 	}
+	// Emitted minus unique is the dedup saving; both sides are recorded
+	// so the ratio is readable straight off a snapshot.
+	r.Counter("enum.candidates_unique").Add(int64(pool.Len()))
 	return res, nil
 }

@@ -15,6 +15,7 @@ import (
 	"nose/internal/backend"
 	"nose/internal/cost"
 	"nose/internal/model"
+	"nose/internal/obs"
 	"nose/internal/planner"
 	"nose/internal/schema"
 	"nose/internal/search"
@@ -43,6 +44,37 @@ type Executor struct {
 	lat     cost.Params
 	retry   RetryPolicy
 	metrics *Metrics
+	eo      execObs
+}
+
+// execObs holds the executor's registry instruments. The zero value —
+// all nil instruments — is a valid no-op set, so an executor without
+// SetObs pays only nil checks.
+type execObs struct {
+	queries, writes           *obs.Counter
+	queryErrors, writeErrors  *obs.Counter
+	retries, retryExhausted   *obs.Counter
+	queryLat, writeLat        *obs.Histogram
+	backoffSimMs, wastedSimMs *obs.Gauge
+}
+
+// SetObs routes the executor's metrics into a registry: exec.* counters
+// for statements and retries, and exec.{query,write}.sim_ms latency
+// histograms in simulated milliseconds. The existing Metrics snapshot
+// keeps working; the registry sees the same increments.
+func (e *Executor) SetObs(r *obs.Registry) {
+	e.eo = execObs{
+		queries:        r.Counter("exec.queries"),
+		writes:         r.Counter("exec.writes"),
+		queryErrors:    r.Counter("exec.query_errors"),
+		writeErrors:    r.Counter("exec.write_errors"),
+		retries:        r.Counter("exec.retries"),
+		retryExhausted: r.Counter("exec.retry_exhausted"),
+		queryLat:       r.Histogram("exec.query.sim_ms"),
+		writeLat:       r.Histogram("exec.write.sim_ms"),
+		backoffSimMs:   r.Gauge("exec.backoff_sim_ms"),
+		wastedSimMs:    r.Gauge("exec.wasted_sim_ms"),
+	}
 }
 
 // New returns an executor over the store, charging client-side work
@@ -69,11 +101,14 @@ func (e *Executor) Metrics() MetricsSnapshot { return e.metrics.Snapshot() }
 func (e *Executor) ExecuteQuery(plan *planner.Plan, params Params) (*Result, error) {
 	res, err := e.run(plan.Steps, params, []Tuple{{}}, &stmtBudget{})
 	if err != nil {
+		e.eo.queryErrors.Inc()
 		return res, fmt.Errorf("executor: query %q: %w", workload.Label(plan.Query), err)
 	}
 	// Project to the selected attributes and discard duplicates
 	// (paper §IV-B step 3).
 	res.Rows = projectDistinct(res.Rows, plan.Query.Select, plan.Query.Order)
+	e.eo.queries.Inc()
+	e.eo.queryLat.Observe(res.SimMillis)
 	return res, nil
 }
 
@@ -381,6 +416,7 @@ func (e *Executor) ExecuteWrite(urs []*search.UpdateRecommendation, params Param
 		stmt := ur.Plan.Statement
 		seeds, overrides, doDelete, doInsert, err := e.updateContext(stmt, params)
 		if err != nil {
+			e.eo.writeErrors.Inc()
 			return &Result{SimMillis: sim}, err
 		}
 		tuples := seeds
@@ -390,6 +426,7 @@ func (e *Executor) ExecuteWrite(urs []*search.UpdateRecommendation, params Param
 				sim += res.SimMillis
 			}
 			if err != nil {
+				e.eo.writeErrors.Inc()
 				return &Result{SimMillis: sim}, fmt.Errorf("executor: support query for %q: %w", workload.Label(stmt), err)
 			}
 			tuples = res.Rows
@@ -405,9 +442,12 @@ func (e *Executor) ExecuteWrite(urs []*search.UpdateRecommendation, params Param
 		millis, err := e.applyWrites(p.ur, p.tuples, p.overrides, p.doDelete, p.doInsert, bgt)
 		sim += millis
 		if err != nil {
+			e.eo.writeErrors.Inc()
 			return &Result{SimMillis: sim}, err
 		}
 	}
+	e.eo.writes.Inc()
+	e.eo.writeLat.Observe(sim)
 	return &Result{Rows: last, SimMillis: sim}, nil
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"nose/internal/backend"
 	"nose/internal/faults"
+	"nose/internal/obs"
 )
 
 // Consistency selects how many replicas a coordinated operation must
@@ -182,6 +183,44 @@ type Coordinator struct {
 	nodes *faults.Nodes
 	hints map[hintKey][]hint
 	stats ReplicaStats
+	co    coordObs
+}
+
+// coordObs holds the coordinator's registry instruments; the zero value
+// is a valid no-op set.
+type coordObs struct {
+	reads, writes                     *obs.Counter
+	replicaReads, replicaWrites       *obs.Counter
+	readUnavailable, writeUnavailable *obs.Counter
+	hedges, hedgeWins                 *obs.Counter
+	hintsQueued, hintsReplayed        *obs.Counter
+	readRepairs, staleReads           *obs.Counter
+	readLat, writeLat                 *obs.Histogram
+}
+
+// SetObs routes coordination metrics into a registry: coord.* counters
+// mirroring ReplicaStats, plus per-consistency-level latency histograms
+// (coord.read.<LEVEL>.sim_ms / coord.write.<LEVEL>.sim_ms) of
+// successful coordinated operations in simulated milliseconds.
+func (c *Coordinator) SetObs(r *obs.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.co = coordObs{
+		reads:            r.Counter("coord.reads"),
+		writes:           r.Counter("coord.writes"),
+		replicaReads:     r.Counter("coord.replica_reads"),
+		replicaWrites:    r.Counter("coord.replica_writes"),
+		readUnavailable:  r.Counter("coord.read_unavailable"),
+		writeUnavailable: r.Counter("coord.write_unavailable"),
+		hedges:           r.Counter("coord.hedges"),
+		hedgeWins:        r.Counter("coord.hedge_wins"),
+		hintsQueued:      r.Counter("coord.hints_queued"),
+		hintsReplayed:    r.Counter("coord.hints_replayed"),
+		readRepairs:      r.Counter("coord.read_repairs"),
+		staleReads:       r.Counter("coord.stale_reads"),
+		readLat:          r.Histogram("coord.read." + c.read.String() + ".sim_ms"),
+		writeLat:         r.Histogram("coord.write." + c.write.String() + ".sim_ms"),
+	}
 }
 
 // NewCoordinator wraps a replicated store with quorum coordination.
@@ -257,6 +296,7 @@ func (c *Coordinator) Get(name string, req backend.GetRequest) (*backend.GetResu
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stats.Reads++
+	c.co.reads.Inc()
 
 	// Each of the `need` parallel requests occupies a slot; a failed
 	// replica re-dispatches the slot to the next unused replica, the
@@ -277,6 +317,7 @@ func (c *Coordinator) Get(name string, req backend.GetRequest) (*backend.GetResu
 			node := replicas[idx]
 			idx++
 			c.stats.ReplicaReads++
+			c.co.replicaReads.Inc()
 			fe, factor := c.decide(node, name, "get")
 			if fe != nil {
 				t += fe.SimMillis
@@ -299,6 +340,7 @@ func (c *Coordinator) Get(name string, req backend.GetRequest) (*backend.GetResu
 		}
 		if !filled {
 			c.stats.ReadUnavailable++
+			c.co.readUnavailable.Inc()
 			return nil, coordFault(sawDown, name, "get", worst)
 		}
 	}
@@ -318,7 +360,9 @@ func (c *Coordinator) Get(name string, req backend.GetRequest) (*backend.GetResu
 		node := replicas[idx]
 		idx++
 		c.stats.Hedges++
+		c.co.hedges.Inc()
 		c.stats.ReplicaReads++
+			c.co.replicaReads.Inc()
 		fe, factor := c.decide(node, name, "get")
 		if fe == nil {
 			res, err := c.repl.Node(node).Get(name, req)
@@ -329,6 +373,7 @@ func (c *Coordinator) Get(name string, req backend.GetRequest) (*backend.GetResu
 			if hedged < latency {
 				contacts[slowest] = contact{node: node, res: res, millis: hedged}
 				c.stats.HedgeWins++
+				c.co.hedgeWins.Inc()
 				latency = 0
 				for i := range contacts {
 					if contacts[i].millis > latency {
@@ -355,6 +400,7 @@ func (c *Coordinator) Get(name string, req backend.GetRequest) (*backend.GetResu
 	if chosen < 0 {
 		chosen = 0
 		c.stats.StaleReads++
+		c.co.staleReads.Inc()
 	}
 
 	// Read repair: bring every contacted stale replica up to date,
@@ -371,8 +417,10 @@ func (c *Coordinator) Get(name string, req backend.GetRequest) (*backend.GetResu
 		}
 		repair += ms
 		c.stats.ReadRepairs++
+		c.co.readRepairs.Inc()
 	}
 
+	c.co.readLat.Observe(latency + repair)
 	return &backend.GetResult{Records: contacts[chosen].res.Records, SimMillis: latency + repair}, nil
 }
 
@@ -403,6 +451,7 @@ func (c *Coordinator) applyWrite(name string, partition, clustering []backend.Va
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stats.Writes++
+	c.co.writes.Inc()
 
 	ackTimes := make([]float64, 0, len(replicas))
 	worstFail := 0.0
@@ -410,6 +459,7 @@ func (c *Coordinator) applyWrite(name string, partition, clustering []backend.Va
 	existed := false
 	for _, node := range replicas {
 		c.stats.ReplicaWrites++
+		c.co.replicaWrites.Inc()
 		fe, factor := c.decide(node, name, op)
 		if fe != nil {
 			if fe.Kind == faults.Unavailable {
@@ -427,6 +477,7 @@ func (c *Coordinator) applyWrite(name string, partition, clustering []backend.Va
 				partition: partition, clustering: clustering, values: values, delete: del,
 			})
 			c.stats.HintsQueued++
+			c.co.hintsQueued.Inc()
 			continue
 		}
 		// Handoff: replay this partition's pending hints first so the
@@ -454,6 +505,7 @@ func (c *Coordinator) applyWrite(name string, partition, clustering []backend.Va
 
 	if len(ackTimes) < need {
 		c.stats.WriteUnavailable++
+		c.co.writeUnavailable.Inc()
 		worst := worstFail
 		for _, t := range ackTimes {
 			if t > worst {
@@ -465,6 +517,7 @@ func (c *Coordinator) applyWrite(name string, partition, clustering []backend.Va
 	// Replicas ack in parallel; the coordinator returns once `need`
 	// acks are in, so latency is the need-th fastest ack.
 	sort.Float64s(ackTimes)
+	c.co.writeLat.Observe(ackTimes[need-1])
 	return existed, &backend.PutResult{SimMillis: ackTimes[need-1]}, nil
 }
 
@@ -493,6 +546,7 @@ func (c *Coordinator) replayLocked(k hintKey) (float64, error) {
 			t += pr.SimMillis
 		}
 		c.stats.HintsReplayed++
+		c.co.hintsReplayed.Inc()
 	}
 	return t, nil
 }

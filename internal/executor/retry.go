@@ -174,10 +174,14 @@ func (e *Executor) retryOp(bgt *stmtBudget, cf string, do func() (float64, error
 		}
 		if attempt+1 >= e.retry.MaxAttempts {
 			e.metrics.addExhausted(wasted)
+			e.eo.retryExhausted.Inc()
+			e.eo.wastedSimMs.Add(wasted)
 			return total, fmt.Errorf("retries exhausted after %d attempts: %w", attempt+1, err)
 		}
 		if bgt.spentMillis >= e.retry.BudgetMillis {
 			e.metrics.addExhausted(wasted)
+			e.eo.retryExhausted.Inc()
+			e.eo.wastedSimMs.Add(wasted)
 			return total, fmt.Errorf("retry budget (%.0fms) exhausted: %w", e.retry.BudgetMillis, err)
 		}
 		backoff := e.retry.backoffFor(cf, attempt, bgt.ops)
@@ -190,5 +194,8 @@ func (e *Executor) retryOp(bgt *stmtBudget, cf string, do func() (float64, error
 		total += backoff
 		bgt.spentMillis += backoff
 		e.metrics.addRetry(backoff, wasted)
+		e.eo.retries.Inc()
+		e.eo.backoffSimMs.Add(backoff)
+		e.eo.wastedSimMs.Add(wasted)
 	}
 }

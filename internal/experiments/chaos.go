@@ -95,6 +95,9 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	}
 
 	res := &ChaosResult{}
+	// Each (rate, system) cell gets its own simulated-clock trace lane
+	// and merges its private registry into the run registry when done.
+	lane := 0
 	for _, rate := range rates {
 		// Fresh systems per rate: each rate mutates its own stores, so
 		// rates never contaminate each other and any single rate can be
@@ -108,6 +111,8 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 			if rate > 0 {
 				sys.EnableFaults(cfg.Seed, faults.Rate(rate), retry)
 			}
+			lane++
+			sys.EnableTrace(cfg.Base.Trace, lane, fmt.Sprintf("chaos rate=%g %s", rate, sys.Name))
 			cell := ChaosCell{}
 			totalMillis := 0.0
 			for _, txn := range txns {
@@ -135,6 +140,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 				cell.AvgMillis = totalMillis / float64(cell.Completed)
 			}
 			cell.Report = sys.Robustness()
+			cfg.Base.Obs.Merge(sys.Obs())
 			row.Cells[sys.Name] = cell
 		}
 		res.Rows = append(res.Rows, row)

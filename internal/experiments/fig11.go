@@ -9,13 +9,13 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"nose/internal/backend"
 	"nose/internal/baselines"
 	"nose/internal/cost"
 	"nose/internal/harness"
+	"nose/internal/obs"
 	"nose/internal/planner"
 	"nose/internal/rubis"
 	"nose/internal/search"
@@ -59,6 +59,15 @@ type Fig11Config struct {
 	Mix string
 	// Advisor tunes the NoSE run.
 	Advisor search.Options
+	// Obs, when set, collects the run's metrics: the advisor's stage
+	// counters directly, and each measured system's registry merged in
+	// after its measurement. Deterministic counters in the merged
+	// registry are bit-identical across reruns and worker counts.
+	Obs *obs.Registry
+	// Trace, when set, collects Chrome-trace events: advisor stages on
+	// the wall-clock process and executed statements on per-system
+	// simulated-clock lanes.
+	Trace *obs.Tracer
 }
 
 // buildRecommendations generates the dataset and derives the three
@@ -77,6 +86,12 @@ func buildRecommendations(cfg Fig11Config) (*backend.Dataset, []*rubis.Transacti
 	}
 	if cfg.Mix != "" {
 		w.ActiveMix = cfg.Mix
+	}
+	if cfg.Obs != nil {
+		cfg.Advisor.Obs = cfg.Obs
+	}
+	if cfg.Trace != nil {
+		cfg.Advisor.Trace = cfg.Trace
 	}
 
 	noseRec, err := search.Advise(w, cfg.Advisor)
@@ -146,6 +161,17 @@ func RunFig11(cfg Fig11Config) (*Fig11Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	for i, sys := range systems {
+		sys.EnableTrace(cfg.Trace, i+1, "fig11/"+sys.Name)
+	}
+	// Each system's registry merges into the run registry once its
+	// measurement is done; addition commutes, so the totals are
+	// independent of how the advisor split its work.
+	defer func() {
+		for _, sys := range systems {
+			cfg.Obs.Merge(sys.Obs())
+		}
+	}()
 
 	mix := cfg.Mix
 	if mix == "" {
@@ -209,11 +235,6 @@ func (r *Fig11Result) Format() string {
 		fmt.Fprintf(&b, "%-24s %12.3f %12.3f %12.3f\n",
 			row.Transaction, row.Millis["NoSE"], row.Millis["Normalized"], row.Millis["Expert"])
 	}
-	names := make([]string, 0, len(r.WeightedAvg))
-	for n := range r.WeightedAvg {
-		names = append(names, n)
-	}
-	sort.Strings(names)
 	fmt.Fprintf(&b, "%-24s %12.3f %12.3f %12.3f\n", "WeightedAverage",
 		r.WeightedAvg["NoSE"], r.WeightedAvg["Normalized"], r.WeightedAvg["Expert"])
 	fmt.Fprintf(&b, "max speedup vs expert: %.1fx; weighted speedup vs expert: %.2fx\n",

@@ -144,6 +144,9 @@ func RunQuorum(cfg QuorumConfig) (*QuorumResult, error) {
 
 	repl := harness.ReplicationConfig{Nodes: cfg.Nodes, RF: cfg.RF}.Normalized()
 	res := &QuorumResult{Levels: levels, Nodes: repl.Nodes, RF: repl.RF}
+	// Each (rate, level) cell gets its own simulated-clock trace lane
+	// and merges its private registry into the run registry when done.
+	lane := 0
 	for _, rate := range rates {
 		row := QuorumRow{Rate: rate, Cells: map[string]QuorumCell{}}
 		for _, level := range levels {
@@ -157,6 +160,8 @@ func RunQuorum(cfg QuorumConfig) (*QuorumResult, error) {
 				return nil, err
 			}
 			sys.EnableNodeFaults(cfg.Seed, faults.NodeRate(rate), retry)
+			lane++
+			sys.EnableTrace(cfg.Base.Trace, lane, fmt.Sprintf("quorum rate=%g %s", rate, level))
 
 			cell := QuorumCell{}
 			var latencies []float64
@@ -188,6 +193,7 @@ func RunQuorum(cfg QuorumConfig) (*QuorumResult, error) {
 				cell.UnavailableRate = float64(cell.Unavailable) / float64(n)
 			}
 			cell.Report = sys.Robustness()
+			cfg.Base.Obs.Merge(sys.Obs())
 			if cell.Report.Replica.Reads > 0 {
 				cell.StaleReadRate = float64(cell.Report.Replica.StaleReads) / float64(cell.Report.Replica.Reads)
 			}

@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"nose/internal/backend"
+	"nose/internal/obs"
 )
 
 // Kind classifies an injected fault.
@@ -205,6 +206,27 @@ type Injector struct {
 	def    Profile
 	states map[string]*cfState
 	counts Counts
+	fo     faultObs
+}
+
+// faultObs holds the injector's registry instruments; the zero value is
+// a valid no-op set.
+type faultObs struct {
+	ops, transients, timeouts, unavailables *obs.Counter
+}
+
+// SetObs mirrors the injector's fault counters into a registry as
+// faults.ops / faults.transients / faults.timeouts /
+// faults.unavailables.
+func (i *Injector) SetObs(r *obs.Registry) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.fo = faultObs{
+		ops:          r.Counter("faults.ops"),
+		transients:   r.Counter("faults.transients"),
+		timeouts:     r.Counter("faults.timeouts"),
+		unavailables: r.Counter("faults.unavailables"),
+	}
 }
 
 // New wraps inner with a fault injector. With no profiles configured
@@ -289,9 +311,11 @@ func (i *Injector) decide(cf, op string) (*Error, float64) {
 	p = p.normalized()
 	st.ops++
 	i.counts.Ops++
+	i.fo.ops.Inc()
 
 	if st.manualDown || st.ops <= st.downUntil {
 		i.counts.Unavailables++
+		i.fo.unavailables.Inc()
 		return &Error{Kind: Unavailable, CF: cf, Op: op, Node: -1, SimMillis: p.TransientMillis}, 1
 	}
 	// One draw per operation, partitioned into fault bands, keeps the
@@ -300,13 +324,16 @@ func (i *Injector) decide(cf, op string) (*Error, float64) {
 	switch {
 	case r < p.TransientRate:
 		i.counts.Transients++
+		i.fo.transients.Inc()
 		return &Error{Kind: Transient, CF: cf, Op: op, Node: -1, SimMillis: p.TransientMillis}, 1
 	case r < p.TransientRate+p.TimeoutRate:
 		i.counts.Timeouts++
+		i.fo.timeouts.Inc()
 		return &Error{Kind: Timeout, CF: cf, Op: op, Node: -1, SimMillis: p.TimeoutMillis}, 1
 	case r < p.TransientRate+p.TimeoutRate+p.UnavailableRate:
 		st.downUntil = st.ops + int64(p.UnavailableOps)
 		i.counts.Unavailables++
+		i.fo.unavailables.Inc()
 		return &Error{Kind: Unavailable, CF: cf, Op: op, Node: -1, SimMillis: p.TransientMillis}, 1
 	}
 	return nil, p.LatencyFactor

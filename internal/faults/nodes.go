@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+
+	"nose/internal/obs"
 )
 
 // NodeProfile describes the fault behavior of one simulated storage
@@ -114,6 +116,27 @@ type Nodes struct {
 	def    NodeProfile
 	states []*nodeState
 	counts NodeCounts
+	no     nodeObs
+}
+
+// nodeObs holds the node fault set's registry instruments; the zero
+// value is a valid no-op set.
+type nodeObs struct {
+	ops, flaky, downRejections, downWindows, slowWindows *obs.Counter
+}
+
+// SetObs mirrors the node fault counters into a registry as
+// nodefaults.*.
+func (ns *Nodes) SetObs(r *obs.Registry) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	ns.no = nodeObs{
+		ops:            r.Counter("nodefaults.ops"),
+		flaky:          r.Counter("nodefaults.flaky"),
+		downRejections: r.Counter("nodefaults.down_rejections"),
+		downWindows:    r.Counter("nodefaults.down_windows"),
+		slowWindows:    r.Counter("nodefaults.slow_windows"),
+	}
 }
 
 // NewNodes creates n node fault domains. With no profiles configured
@@ -230,9 +253,11 @@ func (ns *Nodes) Decide(node int, cf, op string) (*Error, float64) {
 	p = p.normalized()
 	st.ops++
 	ns.counts.Ops++
+	ns.no.ops.Inc()
 
 	if st.manualDown || st.ops <= st.downUntil {
 		ns.counts.DownRejections++
+		ns.no.downRejections.Inc()
 		return &Error{Kind: Unavailable, CF: cf, Op: op, Node: node, SimMillis: p.DownMillis}, 1
 	}
 	factor := 1.0
@@ -245,15 +270,19 @@ func (ns *Nodes) Decide(node int, cf, op string) (*Error, float64) {
 	switch {
 	case r < p.FlakyRate:
 		ns.counts.Flaky++
+		ns.no.flaky.Inc()
 		return &Error{Kind: Transient, CF: cf, Op: op, Node: node, SimMillis: p.TransientMillis}, 1
 	case r < p.FlakyRate+p.DownRate:
 		st.downUntil = st.ops + int64(p.DownOps)
 		ns.counts.DownWindows++
 		ns.counts.DownRejections++
+		ns.no.downWindows.Inc()
+		ns.no.downRejections.Inc()
 		return &Error{Kind: Unavailable, CF: cf, Op: op, Node: node, SimMillis: p.DownMillis}, 1
 	case r < p.FlakyRate+p.DownRate+p.SlowRate:
 		st.slowUntil = st.ops + int64(p.SlowOps)
 		ns.counts.SlowWindows++
+		ns.no.slowWindows.Inc()
 		return nil, p.SlowFactor
 	}
 	return nil, factor

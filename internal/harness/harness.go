@@ -23,6 +23,7 @@ import (
 	"nose/internal/cost"
 	"nose/internal/executor"
 	"nose/internal/faults"
+	"nose/internal/obs"
 	"nose/internal/planner"
 	"nose/internal/search"
 	"nose/internal/workload"
@@ -69,6 +70,52 @@ type System struct {
 	mu     sync.Mutex
 	down   map[string]bool
 	robust robustCounters
+
+	// reg collects every layer's metrics for this system: the store (or
+	// all replica node stores), the coordinator, the executor, the fault
+	// injectors, and the harness's own statement outcomes.
+	reg *obs.Registry
+
+	traceMu     sync.Mutex
+	tracer      *obs.Tracer
+	traceTid    int
+	traceCursor float64
+}
+
+// Obs returns the system's private metric registry. Callers merge it
+// into a run-wide registry with Registry.Merge; the per-system counters
+// are scheduling-invariant, so merged totals are identical at any
+// worker count.
+func (s *System) Obs() *obs.Registry { return s.reg }
+
+// EnableTrace emits one Chrome-trace event per executed statement onto
+// the tracer's simulated-clock timeline: events for this system land on
+// lane tid (named after the system), laid end to end on a simulated
+// time cursor, so the trace shows where simulated response time went.
+func (s *System) EnableTrace(t *obs.Tracer, tid int, lane string) {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	s.tracer = t
+	s.traceTid = tid
+	s.traceCursor = 0
+	t.NameThread(tid, lane)
+}
+
+// traceStatement appends one statement's simulated duration to the
+// system's trace lane.
+func (s *System) traceStatement(st workload.Statement, ms float64, err error) {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	if s.tracer == nil {
+		return
+	}
+	start := s.traceCursor
+	s.traceCursor += ms
+	var args map[string]any
+	if err != nil {
+		args = map[string]any{"error": err.Error()}
+	}
+	s.tracer.SimEvent(workload.Label(st), "statement", s.traceTid, start, ms, args)
 }
 
 // NewSystem installs a recommendation's schema into a fresh store,
@@ -82,7 +129,9 @@ func NewSystem(name string, ds *backend.Dataset, rec *search.Recommendation, lat
 	}
 	s := newSystem(name, rec, lat)
 	s.Store = store
+	store.SetObs(s.reg)
 	s.Exec = executor.New(store, lat)
+	s.Exec.SetObs(s.reg)
 	return s, nil
 }
 
@@ -142,12 +191,16 @@ func NewReplicatedSystem(name string, ds *backend.Dataset, rec *search.Recommend
 	s := newSystem(name, rec, lat)
 	s.Repl = repl
 	s.Coord = coord
+	repl.SetObs(s.reg)
+	coord.SetObs(s.reg)
 	s.Exec = executor.New(coord, lat)
+	s.Exec.SetObs(s.reg)
 	return s, nil
 }
 
 // newSystem builds the plan bookkeeping shared by both storage modes.
 func newSystem(name string, rec *search.Recommendation, lat cost.Params) *System {
+	reg := obs.NewRegistry()
 	s := &System{
 		Name:       name,
 		Rec:        rec,
@@ -156,6 +209,8 @@ func newSystem(name string, rec *search.Recommendation, lat cost.Params) *System
 		planLists:  map[workload.Statement][]*planner.Plan{},
 		writeRecs:  map[workload.Statement][]*search.UpdateRecommendation{},
 		down:       map[string]bool{},
+		reg:        reg,
+		robust:     newRobustCounters(reg),
 	}
 	for _, qr := range rec.Queries {
 		s.queryPlans[qr.Statement.Statement] = qr.Plan
@@ -187,8 +242,10 @@ func (s *System) EnableFaults(seed int64, def faults.Profile, policy executor.Re
 	}
 	inj := faults.New(inner, seed)
 	inj.SetDefaultProfile(def)
+	inj.SetObs(s.reg)
 	s.inj = inj
 	s.Exec = executor.NewRetrying(inj, s.lat, policy)
+	s.Exec.SetObs(s.reg)
 	return inj
 }
 
@@ -203,9 +260,11 @@ func (s *System) EnableNodeFaults(seed int64, def faults.NodeProfile, policy exe
 	}
 	ns := faults.NewNodes(seed, s.Repl.NodeCount())
 	ns.SetDefaultProfile(def)
+	ns.SetObs(s.reg)
 	s.nodeInj = ns
 	s.Coord.SetNodes(ns)
 	s.Exec = executor.NewRetrying(s.Coord, s.lat, policy)
+	s.Exec.SetObs(s.reg)
 	return ns
 }
 
@@ -299,6 +358,13 @@ func pickPlan(plans []*planner.Plan, avoid map[string]bool, tried map[*planner.P
 // (failed plan attempts, retries, backoff), so degraded executions are
 // costed rather than hidden.
 func (s *System) ExecStatement(st workload.Statement, params executor.Params) (float64, error) {
+	ms, err := s.execStatement(st, params)
+	s.traceStatement(st, ms, err)
+	return ms, err
+}
+
+// execStatement dispatches one statement to its query or write path.
+func (s *System) execStatement(st workload.Statement, params executor.Params) (float64, error) {
 	if plans, ok := s.planLists[st]; ok {
 		return s.execQuery(st, plans, params)
 	}

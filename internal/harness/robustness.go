@@ -2,10 +2,10 @@ package harness
 
 import (
 	"fmt"
-	"sync"
 
 	"nose/internal/executor"
 	"nose/internal/faults"
+	"nose/internal/obs"
 )
 
 // RobustnessReport aggregates everything a system endured while
@@ -14,6 +14,12 @@ import (
 // counts of the injector. It quantifies the graceful-degradation claim
 // the paper's cost model implies but never measures — index-redundant
 // schemas keep more statements answerable when column families fail.
+//
+// The report is a point-in-time view over the system's metric
+// registry (see Obs): the harness books every statement outcome
+// through lock-free registry instruments, so concurrent statement
+// execution — including node faults overlapping hedged reads — never
+// races on shared counters.
 type RobustnessReport struct {
 	// Statements is the number of statement executions attempted.
 	Statements int64
@@ -60,47 +66,59 @@ func (r RobustnessReport) String() string {
 	return s
 }
 
-// robustCounters is the harness-level half of the report.
+// robustCounters is the harness-level half of the report: a handle set
+// over the system registry's atomic instruments. Statement outcomes
+// from concurrent goroutines aggregate by atomic addition, so the
+// counters need no lock of their own.
 type robustCounters struct {
-	mu                 sync.Mutex
-	statements         int64
-	failovers          int64
-	unavailable        int64
-	degradedStatements int64
-	degradedMillis     float64
+	statements         *obs.Counter
+	failovers          *obs.Counter
+	unavailable        *obs.Counter
+	degradedStatements *obs.Counter
+	degradedSimMs      *obs.Gauge
+	statementLat       *obs.Histogram
+}
+
+// newRobustCounters binds the harness.* instruments in a registry.
+func newRobustCounters(r *obs.Registry) robustCounters {
+	return robustCounters{
+		statements:         r.Counter("harness.statements"),
+		failovers:          r.Counter("harness.failovers"),
+		unavailable:        r.Counter("harness.unavailable"),
+		degradedStatements: r.Counter("harness.degraded_statements"),
+		degradedSimMs:      r.Gauge("harness.degraded_sim_ms"),
+		statementLat:       r.Histogram("harness.statement.sim_ms"),
+	}
 }
 
 // record books one statement execution's outcome.
 func (c *robustCounters) record(millis float64, failovers int64, unavailable, degraded bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.statements++
-	c.failovers += failovers
+	c.statements.Inc()
+	c.failovers.Add(failovers)
+	c.statementLat.Observe(millis)
 	if unavailable {
-		c.unavailable++
+		c.unavailable.Inc()
 	}
 	if degraded || failovers > 0 {
-		c.degradedStatements++
-		c.degradedMillis += millis
+		c.degradedStatements.Inc()
+		c.degradedSimMs.Add(millis)
 	}
 }
 
 // Robustness returns the system's cumulative robustness report.
 func (s *System) Robustness() RobustnessReport {
 	m := s.Exec.Metrics()
-	s.robust.mu.Lock()
 	r := RobustnessReport{
-		Statements:         s.robust.statements,
-		Failovers:          s.robust.failovers,
-		Unavailable:        s.robust.unavailable,
-		DegradedStatements: s.robust.degradedStatements,
-		DegradedMillis:     s.robust.degradedMillis,
+		Statements:         s.robust.statements.Value(),
+		Failovers:          s.robust.failovers.Value(),
+		Unavailable:        s.robust.unavailable.Value(),
+		DegradedStatements: s.robust.degradedStatements.Value(),
+		DegradedMillis:     s.robust.degradedSimMs.Value(),
 		Retries:            m.Retries,
 		RetryExhausted:     m.Exhausted,
 		BackoffMillis:      m.BackoffMillis,
 		WastedMillis:       m.WastedMillis,
 	}
-	s.robust.mu.Unlock()
 	if s.inj != nil {
 		r.Injected = s.inj.Counts()
 	}

@@ -65,7 +65,36 @@ type Solver struct {
 	pivots   int
 	degens   int
 	maxIters int
+
+	stats SolverStats
 }
+
+// SolverStats accumulates work counters across every Solve call on one
+// Solver. All counts are pure functions of the problems solved, so
+// summing them across per-worker solvers yields the same totals at any
+// worker count.
+type SolverStats struct {
+	// Solves is the number of Solve calls.
+	Solves int64
+	// Pivots is the total number of simplex pivots.
+	Pivots int64
+	// DegeneratePivots counts pivots with (near-)zero step length.
+	DegeneratePivots int64
+	// Refactors counts full basis-inverse refactorizations.
+	Refactors int64
+}
+
+// add accumulates another stats value, for aggregating per-worker
+// solvers.
+func (s *SolverStats) Add(o SolverStats) {
+	s.Solves += o.Solves
+	s.Pivots += o.Pivots
+	s.DegeneratePivots += o.DegeneratePivots
+	s.Refactors += o.Refactors
+}
+
+// Stats returns the cumulative work counters for this solver.
+func (s *Solver) Stats() SolverStats { return s.stats }
 
 // NewSolver returns an empty solver; its buffers grow to fit the first
 // problem solved and are reused afterwards.
@@ -157,6 +186,7 @@ func (s *Solver) Solve(p *Problem) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	s.stats.Solves++
 	s.prepare(p)
 	m, n := s.m, s.n
 
@@ -403,6 +433,7 @@ func (s *Solver) iterate(c []float64) Status {
 		}
 		if tMax < tol {
 			s.degens++
+			s.stats.DegeneratePivots++
 		} else {
 			s.degens = 0
 		}
@@ -457,7 +488,9 @@ func (s *Solver) iterate(c []float64) Status {
 		s.xval[entering] = newEnterVal
 
 		s.pivots++
+		s.stats.Pivots++
 		if s.pivots%refactorEvery == 0 {
+			s.stats.Refactors++
 			if !s.refactor() {
 				return IterationLimit
 			}

@@ -1,0 +1,317 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Inc()
+	c.Add(4)
+	if got := r.Counter("a").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g")
+	g.Set(1.5)
+	g.Add(2.5)
+	if got := g.Value(); got != 4.0 {
+		t.Fatalf("gauge = %v, want 4.0", got)
+	}
+	h := r.Histogram("h")
+	h.Observe(0.04) // bucket le=0.05
+	h.Observe(0.05) // boundary lands in le=0.05
+	h.Observe(3)    // le=5
+	h.Observe(9999) // overflow
+	if h.Count() != 4 {
+		t.Fatalf("hist count = %d, want 4", h.Count())
+	}
+	s := r.Snapshot()
+	hs := s.Histograms["h"]
+	want := []Bucket{{LE: "0.05", N: 2}, {LE: "5", N: 1}, {LE: "+Inf", N: 1}}
+	if len(hs.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", hs.Buckets, want)
+	}
+	for i := range want {
+		if hs.Buckets[i] != want[i] {
+			t.Fatalf("bucket[%d] = %+v, want %+v", i, hs.Buckets[i], want[i])
+		}
+	}
+}
+
+func TestNilReceiversAreNoOps(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(3)
+	r.Counter("x").Inc()
+	r.VolatileCounter("x").Inc()
+	r.Gauge("g").Set(1)
+	r.Gauge("g").Add(1)
+	r.Histogram("h").Observe(1)
+	r.Merge(NewRegistry())
+	NewRegistry().Merge(r)
+	if got := r.Snapshot(); len(got.Counters) != 0 {
+		t.Fatalf("nil registry snapshot has counters: %+v", got.Counters)
+	}
+
+	var tr *Tracer
+	sp := tr.Begin("x", "cat")
+	sp.SetArg("k", 1)
+	sp.End()
+	tr.SimEvent("e", "cat", 1, 0, 1, nil)
+	tr.NameThread(1, "lane")
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatalf("nil tracer WriteTrace: %v", err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("nil tracer wrote invalid JSON: %v", err)
+	}
+}
+
+func TestMergeAddsAndIsOrderInvariant(t *testing.T) {
+	mk := func() *Registry {
+		r := NewRegistry()
+		r.Counter("c").Add(2)
+		r.VolatileCounter("v").Add(3)
+		r.Gauge("g").Add(1.5)
+		r.Histogram("h").Observe(0.3)
+		r.Histogram("h").Observe(42)
+		return r
+	}
+	a, b := mk(), mk()
+	b.Counter("c").Add(5)
+
+	fwd := NewRegistry()
+	fwd.Merge(a)
+	fwd.Merge(b)
+	rev := NewRegistry()
+	rev.Merge(b)
+	rev.Merge(a)
+
+	if fwd.Counter("c").Value() != 9 {
+		t.Fatalf("merged counter = %d, want 9", fwd.Counter("c").Value())
+	}
+	if got, want := fwd.Snapshot().DeterministicFingerprint(), rev.Snapshot().DeterministicFingerprint(); got != want {
+		t.Fatalf("merge order changed fingerprint:\n%s\nvs\n%s", got, want)
+	}
+	// Self-merge must not double anything.
+	before := fwd.Counter("c").Value()
+	fwd.Merge(fwd)
+	if fwd.Counter("c").Value() != before {
+		t.Fatalf("self-merge changed counter: %d -> %d", before, fwd.Counter("c").Value())
+	}
+}
+
+func TestConcurrentUpdatesSumExactly(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Counter("n").Inc()
+				r.Histogram("h").Observe(0.3)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Histogram("h").Count(); got != workers*per {
+		t.Fatalf("hist count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestFingerprintExcludesVolatileAndGauges(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	for _, r := range []*Registry{a, b} {
+		r.Counter("det").Add(7)
+		r.Histogram("h").Observe(1)
+	}
+	a.VolatileCounter("cache.hits").Add(10)
+	b.VolatileCounter("cache.hits").Add(99)
+	a.Gauge("wall_ms").Set(1.0)
+	b.Gauge("wall_ms").Set(777.0)
+	if fa, fb := a.Snapshot().DeterministicFingerprint(), b.Snapshot().DeterministicFingerprint(); fa != fb {
+		t.Fatalf("fingerprint not limited to deterministic sections:\n%s\nvs\n%s", fa, fb)
+	}
+}
+
+// TestSnapshotGoldenSchema pins the snapshot JSON layout (schema
+// version 1). If this test fails because the layout changed, bump
+// SnapshotSchemaVersion and update the golden.
+func TestSnapshotGoldenSchema(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bip.nodes").Add(12)
+	r.Counter("search.candidates").Add(3)
+	r.VolatileCounter("cost.cache.hits").Add(5)
+	r.Gauge("search.wall_ms.total").Set(1.25)
+	h := r.Histogram("exec.query.sim_ms")
+	h.Observe(0.3)
+	h.Observe(0.3)
+	h.Observe(700)
+
+	got, err := r.Snapshot().WriteJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{
+  "schema_version": 1,
+  "counters": {
+    "bip.nodes": 12,
+    "search.candidates": 3
+  },
+  "volatile": {
+    "cost.cache.hits": 5
+  },
+  "gauges": {
+    "search.wall_ms.total": 1.25
+  },
+  "histograms": {
+    "exec.query.sim_ms": {
+      "count": 3,
+      "sum": 700.6,
+      "buckets": [
+        {
+          "le": "0.5",
+          "n": 2
+        },
+        {
+          "le": "1000",
+          "n": 1
+        }
+      ]
+    }
+  }
+}
+`
+	if string(got) != golden {
+		t.Fatalf("snapshot JSON schema drifted:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+}
+
+func TestSnapshotJSONStableAcrossMarshals(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(1)
+	r.Counter("a").Add(2)
+	s := r.Snapshot()
+	one, err := s.WriteJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := s.WriteJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one, two) {
+		t.Fatal("snapshot JSON not byte-stable across marshals")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	for i := 0; i < 90; i++ {
+		h.Observe(0.3) // le=0.5
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(40) // le=50
+	}
+	hs := r.Snapshot().Histograms["h"]
+	if p50 := hs.Quantile(0.50); p50 != 0.5 {
+		t.Fatalf("p50 = %v, want 0.5", p50)
+	}
+	if p99 := hs.Quantile(0.99); p99 != 50 {
+		t.Fatalf("p99 = %v, want 50", p99)
+	}
+	if z := (HistogramSnapshot{}).Quantile(0.5); z != 0 {
+		t.Fatalf("empty quantile = %v, want 0", z)
+	}
+}
+
+func TestTracerWritesValidChromeTrace(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Begin("enumerate", "advisor").SetArg("candidates", 42)
+	sp.End()
+	tr.NameThread(3, "cell rate=0.01")
+	tr.SimEvent("stmt", "exec", 3, 10, 2.5, map[string]any{"kind": "query"})
+
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", out.DisplayTimeUnit)
+	}
+	var sawSpan, sawSim, sawThreadName bool
+	for _, e := range out.TraceEvents {
+		switch {
+		case e.Name == "enumerate" && e.Ph == "X" && e.Pid == WallPID:
+			sawSpan = true
+			if e.Args["candidates"] != float64(42) {
+				t.Fatalf("span args = %v", e.Args)
+			}
+		case e.Name == "stmt" && e.Ph == "X" && e.Pid == SimPID && e.Tid == 3:
+			sawSim = true
+			if e.Ts != 10_000 || e.Dur != 2_500 {
+				t.Fatalf("sim event ts/dur = %v/%v, want 10000/2500 us", e.Ts, e.Dur)
+			}
+		case e.Name == "thread_name" && e.Ph == "M" && e.Tid == 3:
+			sawThreadName = true
+		}
+	}
+	if !sawSpan || !sawSim || !sawThreadName {
+		t.Fatalf("missing events: span=%v sim=%v threadName=%v\n%s", sawSpan, sawSim, sawThreadName, buf.String())
+	}
+}
+
+func TestTracerCapCountsDropped(t *testing.T) {
+	tr := NewTracer()
+	tr.max = 4
+	for i := 0; i < 10; i++ {
+		tr.SimEvent("e", "c", 1, float64(i), 1, nil)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+}
+
+func TestFormatMentionsAllSections(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(1)
+	r.VolatileCounter("v").Add(1)
+	r.Gauge("g").Set(1)
+	r.Histogram("h").Observe(1)
+	out := r.Snapshot().Format()
+	for _, want := range []string{"counters", "volatile", "gauges", "histograms", "c", "v", "g", "h"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format() missing %q:\n%s", want, out)
+		}
+	}
+}

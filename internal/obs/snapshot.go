@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SnapshotSchemaVersion identifies the snapshot JSON layout. Bump it
+// when the structure (not the metric set) changes; the golden schema
+// test pins the layout for each version.
+const SnapshotSchemaVersion = 1
+
+// Bucket is one histogram bucket in a snapshot. LE is the bucket's
+// upper bound formatted as a decimal string ("+Inf" for the overflow
+// bucket) — a string because JSON cannot represent infinity.
+type Bucket struct {
+	LE string `json:"le"`
+	N  int64  `json:"n"`
+}
+
+// HistogramSnapshot is one histogram's point-in-time state. Buckets
+// lists only non-empty buckets, in bound order.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a registry, structured for
+// stable JSON serialization: map keys marshal sorted, so two snapshots
+// with the same values produce byte-identical JSON. Counters and
+// histogram bucket counts are the deterministic sections; Volatile and
+// Gauges may vary run to run (see the package comment).
+type Snapshot struct {
+	SchemaVersion int                          `json:"schema_version"`
+	Counters      map[string]int64             `json:"counters"`
+	Volatile      map[string]int64             `json:"volatile,omitempty"`
+	Gauges        map[string]float64           `json:"gauges,omitempty"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current values. A nil registry yields
+// an empty (but valid) snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		SchemaVersion: SnapshotSchemaVersion,
+		Counters:      map[string]int64{},
+		Volatile:      map[string]int64{},
+		Gauges:        map[string]float64{},
+		Histograms:    map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	vol := make(map[string]*Counter, len(r.volatile))
+	for k, v := range r.volatile {
+		vol[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	for name, c := range counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, c := range vol {
+		s.Volatile[name] = c.Value()
+	}
+	for name, g := range gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range hists {
+		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+		for i := range h.buckets {
+			n := h.buckets[i].Load()
+			if n == 0 {
+				continue
+			}
+			hs.Buckets = append(hs.Buckets, Bucket{LE: bucketBound(i), N: n})
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// bucketBound formats bucket i's upper bound.
+func bucketBound(i int) string {
+	if i >= len(LatencyBuckets) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(LatencyBuckets[i], 'g', -1, 64)
+}
+
+// MarshalJSON renders the snapshot with stable formatting (sorted
+// keys, indented) so snapshots diff cleanly and goldens stay byte
+// stable.
+func (s *Snapshot) MarshalJSON() ([]byte, error) {
+	type alias Snapshot // strip the method to avoid recursion
+	return json.MarshalIndent((*alias)(s), "", "  ")
+}
+
+// WriteJSON returns the snapshot's stable JSON encoding, newline
+// terminated.
+func (s *Snapshot) WriteJSON() ([]byte, error) {
+	b, err := s.MarshalJSON()
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// DeterministicFingerprint reduces the snapshot to the sections the
+// determinism contract covers — counters and histogram bucket counts —
+// rendered as a stable string. Two runs of the same seeded workload
+// must produce equal fingerprints at any worker count.
+func (s *Snapshot) DeterministicFingerprint() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "counter %s=%d\n", name, s.Counters[name])
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		fmt.Fprintf(&b, "hist %s count=%d buckets=", name, h.Count)
+		for i, bk := range h.Buckets {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s:%d", bk.LE, bk.N)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Quantile estimates the q-quantile of a histogram snapshot as the
+// upper bound of the bucket where the cumulative count crosses the
+// rank (the overflow bucket reports +Inf). Coarse by construction —
+// it is a bucket bound, not an interpolation — but deterministic.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for _, bk := range h.Buckets {
+		cum += bk.N
+		if cum >= rank {
+			if bk.LE == "+Inf" {
+				return LatencyBuckets[len(LatencyBuckets)-1] * 2
+			}
+			v, _ := strconv.ParseFloat(bk.LE, 64)
+			return v
+		}
+	}
+	return LatencyBuckets[len(LatencyBuckets)-1] * 2
+}
+
+// Format renders the snapshot as a human-readable summary: counters,
+// volatile counters and gauges aligned name/value, histograms with
+// count, mean and coarse p50/p99 bucket bounds.
+func (s *Snapshot) Format() string {
+	var b strings.Builder
+	section := func(title string) { fmt.Fprintf(&b, "%s:\n", title) }
+
+	if len(s.Counters) > 0 {
+		section("counters")
+		for _, name := range sortedKeys(s.Counters) {
+			fmt.Fprintf(&b, "  %-44s %12d\n", name, s.Counters[name])
+		}
+	}
+	if len(s.Volatile) > 0 {
+		section("volatile (timing-dependent)")
+		for _, name := range sortedKeys(s.Volatile) {
+			fmt.Fprintf(&b, "  %-44s %12d\n", name, s.Volatile[name])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		section("gauges")
+		for _, name := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(&b, "  %-44s %12.3f\n", name, s.Gauges[name])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		section("histograms (sim ms)")
+		for _, name := range sortedKeys(s.Histograms) {
+			h := s.Histograms[name]
+			mean := 0.0
+			if h.Count > 0 {
+				mean = h.Sum / float64(h.Count)
+			}
+			fmt.Fprintf(&b, "  %-44s count=%-8d mean=%-10.3f p50<=%-8g p99<=%g\n",
+				name, h.Count, mean, h.Quantile(0.50), h.Quantile(0.99))
+		}
+	}
+	return b.String()
+}
+
+// sortedKeys returns a map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -67,7 +67,7 @@ func TestIndexAttributeQueries(t *testing.T) {
 	if !x.Contains(guest.Attribute("GuestName")) {
 		t.Error("Contains(GuestName) = false")
 	}
-	if x.Contains(guest.Attribute("GuestID")) != true {
+	if !x.Contains(guest.Attribute("GuestID")) {
 		t.Error("clustering attr not found")
 	}
 	if x.Contains(g.MustEntity("Hotel").Attribute("HotelPhone")) {

@@ -13,6 +13,7 @@ import (
 	"nose/internal/bip"
 	"nose/internal/cost"
 	"nose/internal/enumerator"
+	"nose/internal/obs"
 	"nose/internal/par"
 	"nose/internal/planner"
 	"nose/internal/schema"
@@ -46,6 +47,13 @@ type Options struct {
 	// SkipMinimizeSchema disables the second solver phase that
 	// minimizes the number of column families at optimal cost.
 	SkipMinimizeSchema bool
+	// Obs, when non-nil, receives pipeline metrics: deterministic
+	// search.*/enum.*/bip.*/lp.* counters, wall-clock stage gauges, and
+	// volatile cost-cache counters. Nil disables metrics at no cost.
+	Obs *obs.Registry
+	// Trace, when non-nil, records one wall-clock span per advisor
+	// stage, viewable in about:tracing/Perfetto.
+	Trace *obs.Tracer
 }
 
 // DefaultMaxSupportPlans bounds support-query plan spaces.
@@ -141,6 +149,7 @@ func (opt Options) withDefaults() Options {
 	}
 	opt.Workers = par.Workers(opt.Workers)
 	opt.BIP.Workers = opt.Workers
+	opt.BIP.Obs = opt.Obs
 	if opt.Planner.Cache == nil {
 		opt.Planner.Cache = cost.NewCache()
 	}
@@ -153,40 +162,57 @@ func Advise(w *workload.Workload, opt Options) (*Recommendation, error) {
 	opt = opt.withDefaults()
 	start := time.Now()
 	rec := &Recommendation{}
+	root := opt.Trace.Begin("advise", "advisor")
+	defer root.End()
+	cacheBefore := opt.Planner.Cache.Stats()
+	defer publishRun(opt, rec, cacheBefore)
 
 	// Candidate enumeration (Algorithm 1).
 	t := time.Now()
-	enumRes, err := enumerator.EnumerateWorkloadParallel(w, opt.Enumerator, opt.Workers)
+	sp := opt.Trace.Begin("enumerate", "advisor")
+	enumRes, err := enumerator.EnumerateWorkloadObs(w, opt.Enumerator, opt.Workers, opt.Obs)
 	if err != nil {
 		return nil, err
 	}
 	rec.Timings.Enumeration = time.Since(t)
 	rec.Stats.Candidates = enumRes.Pool.Len()
+	sp.SetArg("candidates", rec.Stats.Candidates).End()
+	opt.Obs.Counter("search.candidates").Add(int64(rec.Stats.Candidates))
 
 	// Plan-space generation and cost estimation.
 	t = time.Now()
+	sp = opt.Trace.Begin("plan-spaces", "advisor")
 	pl := planner.New(enumRes.Pool, opt.CostModel, opt.Planner)
 	b, err := newBuilder(w, pl, enumRes, opt)
 	if err != nil {
 		return nil, err
 	}
 	rec.Timings.CostCalculation = time.Since(t)
+	sp.End()
 
 	// Phase 1: minimize weighted workload cost.
 	t = time.Now()
+	sp = opt.Trace.Begin("formulate", "advisor")
 	prog1, refs1 := b.formulate(nil)
 	rec.Timings.BIPConstruction = time.Since(t)
 	rec.Stats.PlanVariables = len(refs1.planCols)
 	rec.Stats.Constraints = prog1.NumRows()
+	sp.SetArg("plan_variables", rec.Stats.PlanVariables).
+		SetArg("constraints", rec.Stats.Constraints).End()
+	opt.Obs.Counter("search.plan_variables").Add(int64(rec.Stats.PlanVariables))
+	opt.Obs.Counter("search.constraints").Add(int64(rec.Stats.Constraints))
 
 	phase1Opts := opt.BIP
 	phase1Opts.Incumbent = b.greedyIncumbent(prog1, refs1)
 	t = time.Now()
+	sp = opt.Trace.Begin("solve phase 1", "advisor")
 	res1, err := prog1.Solve(phase1Opts)
 	rec.Timings.BIPSolving = time.Since(t)
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("search: phase 1 solve: %w", err)
 	}
+	sp.SetArg("nodes", res1.Nodes).End()
 	if !res1.HasSolution {
 		return nil, fmt.Errorf("search: phase 1 %v: no feasible schema", res1.Status)
 	}
@@ -198,15 +224,19 @@ func Advise(w *workload.Workload, opt Options) (*Recommendation, error) {
 	// families (paper §V).
 	if !opt.SkipMinimizeSchema {
 		t = time.Now()
+		sp = opt.Trace.Begin("formulate phase 2", "advisor")
 		pin := res1.Objective
 		prog2, refs2 := b.formulate(&pin)
 		rec.Timings.BIPConstruction += time.Since(t)
+		sp.End()
 
 		phase2Opts := opt.BIP
 		phase2Opts.Incumbent = res1.X
 		t = time.Now()
+		sp = opt.Trace.Begin("solve phase 2", "advisor")
 		res2, err := prog2.Solve(phase2Opts)
 		rec.Timings.BIPSolving += time.Since(t)
+		sp.End()
 		if err == nil && res2.HasSolution {
 			chosen = res2
 			refs1 = refs2
@@ -216,10 +246,41 @@ func Advise(w *workload.Workload, opt Options) (*Recommendation, error) {
 
 	// Extraction.
 	t = time.Now()
+	sp = opt.Trace.Begin("extract", "advisor")
 	if err := b.extract(chosen, refs1, rec); err != nil {
+		sp.End()
 		return nil, err
 	}
 	rec.Timings.Other = time.Since(t)
 	rec.Timings.Total = time.Since(start)
+	sp.End()
 	return rec, nil
+}
+
+// publishRun records the run-level metrics that are only known at the
+// end: solver node totals, wall-clock stage gauges, and the cost-cache
+// deltas. Cache counters are volatile — racing planner workers can both
+// miss the same key — and deltas (not absolutes) are recorded so a
+// caller-supplied cache reused across runs is not double counted.
+func publishRun(opt Options, rec *Recommendation, cacheBefore cost.CacheStats) {
+	if opt.Obs == nil {
+		return
+	}
+	opt.Obs.Counter("search.nodes").Add(int64(rec.Stats.Nodes))
+	opt.Obs.Counter("search.advise_runs").Inc()
+
+	g := func(name string, d time.Duration) {
+		opt.Obs.Gauge(name).Add(float64(d.Nanoseconds()) / 1e6)
+	}
+	g("search.wall_ms.enumeration", rec.Timings.Enumeration)
+	g("search.wall_ms.cost_calculation", rec.Timings.CostCalculation)
+	g("search.wall_ms.bip_construction", rec.Timings.BIPConstruction)
+	g("search.wall_ms.bip_solving", rec.Timings.BIPSolving)
+	g("search.wall_ms.total", rec.Timings.Total)
+
+	after := opt.Planner.Cache.Stats()
+	opt.Obs.VolatileCounter("cost.cache.hits").Add(int64(after.Hits - cacheBefore.Hits))
+	opt.Obs.VolatileCounter("cost.cache.misses").Add(int64(after.Misses - cacheBefore.Misses))
+	opt.Obs.VolatileCounter("cost.cache.contention").Add(int64(after.Contention - cacheBefore.Contention))
+	opt.Obs.VolatileCounter("cost.cache.entries").Add(int64(after.Entries - cacheBefore.Entries))
 }
