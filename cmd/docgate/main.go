@@ -1,0 +1,145 @@
+// Command docgate is the CI documentation gate. It fails the build
+// when the docs drift from the code:
+//
+//   - every relative markdown link in the checked documents must
+//     resolve to an existing file (external http(s) links and pure
+//     anchors are skipped);
+//   - every CLI flag defined in cmd/nose and cmd/nosebench must appear
+//     in the README's flag tables as `-name`, so a new flag cannot
+//     ship undocumented.
+//
+// Usage (from the repository root):
+//
+//	go run ./cmd/docgate
+//	go run ./cmd/docgate -docs README.md,DESIGN.md -cmds cmd/nose
+//
+// Exit status 0 means the docs are in sync; 1 lists every violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	docs := flag.String("docs", "README.md,DESIGN.md,EXPERIMENTS.md,ROADMAP.md",
+		"comma-separated markdown files whose relative links must resolve")
+	readme := flag.String("readme", "README.md", "document that must mention every CLI flag")
+	cmds := flag.String("cmds", "cmd/nose,cmd/nosebench", "comma-separated command directories whose flags must be documented")
+	flag.Parse()
+
+	var violations []string
+	for _, doc := range strings.Split(*docs, ",") {
+		doc = strings.TrimSpace(doc)
+		if doc == "" {
+			continue
+		}
+		v, err := checkLinks(doc)
+		if err != nil {
+			fatal(err)
+		}
+		violations = append(violations, v...)
+	}
+
+	readmeText, err := os.ReadFile(*readme)
+	if err != nil {
+		fatal(err)
+	}
+	for _, dir := range strings.Split(*cmds, ",") {
+		dir = strings.TrimSpace(dir)
+		if dir == "" {
+			continue
+		}
+		v, err := checkFlags(dir, *readme, string(readmeText))
+		if err != nil {
+			fatal(err)
+		}
+		violations = append(violations, v...)
+	}
+
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "docgate:", v)
+		}
+		fmt.Fprintf(os.Stderr, "docgate: %d violation(s)\n", len(violations))
+		os.Exit(1)
+	}
+	fmt.Println("docgate: docs are in sync")
+}
+
+// linkRe matches inline markdown links [text](target). Images share the
+// syntax and are checked the same way.
+var linkRe = regexp.MustCompile(`\[[^\]\n]*\]\(([^)\s]+)\)`)
+
+// checkLinks verifies every relative link in one markdown file resolves
+// to an existing file, relative to the file's directory.
+func checkLinks(doc string) ([]string, error) {
+	data, err := os.ReadFile(doc)
+	if err != nil {
+		return nil, err
+	}
+	var violations []string
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			// Drop an anchor suffix: FILE.md#section checks FILE.md.
+			if idx := strings.IndexByte(target, '#'); idx >= 0 {
+				target = target[:idx]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(doc), target)
+			if _, err := os.Stat(resolved); err != nil {
+				violations = append(violations,
+					fmt.Sprintf("%s:%d: broken link %q (resolved %s)", doc, i+1, m[1], resolved))
+			}
+		}
+	}
+	return violations, nil
+}
+
+// flagRe matches flag definitions in a command's Go source:
+// flag.String("name", ...), flag.Int64("name", ...), etc.
+var flagRe = regexp.MustCompile(`flag\.(?:String|Bool|Int64|Int|Float64|Duration)\(\s*"([^"]+)"`)
+
+// checkFlags verifies every flag a command defines is mentioned in the
+// README as `-name`.
+func checkFlags(dir, readmeName, readme string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var violations []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range flagRe.FindAllStringSubmatch(string(src), -1) {
+			name := m[1]
+			if !strings.Contains(readme, "`-"+name+"`") {
+				violations = append(violations,
+					fmt.Sprintf("%s defines flag -%s, absent from %s (add a `-%s` row to its flag table)",
+						dir, name, readmeName, name))
+			}
+		}
+	}
+	return violations, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "docgate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCheckLinks(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "OTHER.md", "hi")
+	doc := write(t, dir, "DOC.md", strings.Join([]string{
+		"[ok](OTHER.md)",
+		"[anchored](OTHER.md#section)",
+		"[external](https://example.com/x)",
+		"[pure anchor](#local)",
+		"[broken](MISSING.md)",
+	}, "\n"))
+	v, err := checkLinks(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 1 || !strings.Contains(v[0], "MISSING.md") {
+		t.Errorf("violations = %v, want exactly the broken link", v)
+	}
+}
+
+func TestCheckFlags(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "tool/main.go", `package main
+import "flag"
+func main() {
+	_ = flag.String("in", "", "input")
+	_ = flag.Int("workers", 0, "workers")
+	_ = flag.Bool("hidden", false, "undocumented")
+}
+`)
+	readme := "| `-in` | input |\n| `-workers` | workers |\n"
+	v, err := checkFlags(filepath.Join(dir, "tool"), "README.md", readme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 1 || !strings.Contains(v[0], "-hidden") {
+		t.Errorf("violations = %v, want exactly -hidden", v)
+	}
+}
+
+// TestRepoDocsInSync runs the real gate over the repository's own docs
+// and commands, so `go test ./...` enforces what CI enforces.
+func TestRepoDocsInSync(t *testing.T) {
+	root := filepath.Join("..", "..")
+	readme, err := os.ReadFile(filepath.Join(root, "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"} {
+		v, err := checkLinks(filepath.Join(root, doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range v {
+			t.Error(s)
+		}
+	}
+	for _, dir := range []string{"cmd/nose", "cmd/nosebench"} {
+		v, err := checkFlags(filepath.Join(root, dir), "README.md", string(readme))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range v {
+			t.Error(s)
+		}
+	}
+}

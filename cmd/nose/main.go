@@ -5,7 +5,13 @@
 //
 // Usage:
 //
-//	nose -in workload.nose [-space bytes] [-mix name] [-max-plans n] [-workers n] [-faults] [-rf n] [-v]
+//	nose -in workload.nose [-space bytes] [-mix name] [-max-plans n] [-workers n] [-phases] [-faults] [-rf n] [-v]
+//
+// With -phases (and a workload whose .nose file declares phase blocks)
+// the advisor solves the time-dependent problem instead: one schema per
+// phase, linked by migration charges, printed as a schema series with
+// the column families built and dropped at each boundary (see
+// search.AdviseSeries).
 //
 // With -faults the report includes each query's failover readiness:
 // how many executable alternative plans the recommended schema keeps,
@@ -35,6 +41,7 @@ func main() {
 	mix := flag.String("mix", "", "workload mix to optimize for")
 	maxPlans := flag.Int("max-plans", planner.DefaultMaxPlansPerQuery, "plan space bound per query")
 	workers := flag.Int("workers", 0, "advisor worker goroutines; 0 means all CPUs (the recommendation is identical for every value)")
+	phases := flag.Bool("phases", false, "advise a per-phase schema series with migration charges (requires phase blocks in the workload)")
 	faultsReport := flag.Bool("faults", false, "print each query's failover readiness (executable alternative plans)")
 	rf := flag.Int("rf", 0, "with -faults: also print node-failure tolerance for a replicated deployment at this replication factor")
 	verbose := flag.Bool("v", false, "print update maintenance plans and timings")
@@ -67,13 +74,34 @@ func main() {
 		tracer = obs.NewTracer()
 	}
 
-	rec, err := search.Advise(w, search.Options{
+	opts := search.Options{
 		Workers:          *workers,
 		SpaceBudgetBytes: *space,
 		Planner:          planner.Config{MaxPlansPerQuery: *maxPlans},
 		Obs:              reg,
 		Trace:            tracer,
-	})
+	}
+
+	if *phases {
+		series, err := search.AdviseSeries(w, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Schema series (%d phases):\n\n", len(series.Phases))
+		fmt.Print(series.Format())
+		if *verbose {
+			t := series.Timings
+			fmt.Printf("\nTimings: enumeration %v, cost calculation %v, BIP construction %v, BIP solving %v, total %v\n",
+				round(t.Enumeration), round(t.CostCalculation), round(t.BIPConstruction),
+				round(t.BIPSolving), round(t.Total))
+			fmt.Printf("Problem: %d candidates, %d plan variables, %d constraints, %d nodes\n",
+				series.Stats.Candidates, series.Stats.PlanVariables, series.Stats.Constraints, series.Stats.Nodes)
+		}
+		writeObservability(*metricsPath, reg, *tracePath, tracer)
+		return
+	}
+
+	rec, err := search.Advise(w, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -125,19 +153,25 @@ func main() {
 			rec.Stats.Candidates, rec.Stats.PlanVariables, rec.Stats.Constraints, rec.Stats.Nodes)
 	}
 
+	writeObservability(*metricsPath, reg, *tracePath, tracer)
+}
+
+// writeObservability flushes the run's metrics snapshot and Chrome
+// trace to their files and prints the human-readable metrics summary.
+func writeObservability(metricsPath string, reg *obs.Registry, tracePath string, tracer *obs.Tracer) {
 	if reg != nil {
 		snap := reg.Snapshot()
 		data, err := snap.WriteJSON()
 		if err != nil {
 			fatal(err)
 		}
-		if err := os.WriteFile(*metricsPath, data, 0o644); err != nil {
+		if err := os.WriteFile(metricsPath, data, 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("\nMetrics (written to %s):\n%s", *metricsPath, snap.Format())
+		fmt.Printf("\nMetrics (written to %s):\n%s", metricsPath, snap.Format())
 	}
 	if tracer != nil {
-		f, err := os.Create(*tracePath)
+		f, err := os.Create(tracePath)
 		if err != nil {
 			fatal(err)
 		}
@@ -149,7 +183,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("trace: %d events written to %s (load in chrome://tracing or https://ui.perfetto.dev)\n",
-			tracer.Len(), *tracePath)
+			tracer.Len(), tracePath)
 	}
 }
 

@@ -6,6 +6,7 @@
 //	nosebench -experiment fig13 [-factors 5]
 //	nosebench -experiment chaos [-faults 0,0.005,0.02,0.05] [-seed 7]
 //	nosebench -experiment quorum [-faults 0,0.02,0.05,0.1] [-seed 7] [-nodes 5] [-rf 3]
+//	nosebench -experiment drift [-drift 0,0.25,0.5,1] [-phases 4] [-seed 7]
 //
 // Every experiment accepts -workers n to bound advisor parallelism
 // (0 uses all CPUs; results are identical for every value), and
@@ -20,7 +21,11 @@
 // degradation of the three schemas under injected store faults.
 // Quorum: the availability/consistency trade of the NoSE schema on a
 // replicated cluster (ONE/QUORUM/ALL, hedged reads, hinted handoff,
-// read repair) under node-level faults.
+// read repair) under node-level faults. Drift: a time-dependent RUBiS
+// workload sliding from browsing toward write100 across -phases
+// intervals, comparing a statically-advised schema against a
+// re-advised schema series whose mid-run migrations are charged
+// simulated time (see search.AdviseSeries).
 package main
 
 import (
@@ -41,17 +46,20 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig11", "fig11, fig12, fig13, budget, ablation, chaos or quorum")
+	experiment := flag.String("experiment", "fig11", "fig11, fig12, fig13, budget, ablation, chaos, quorum or drift")
 	users := flag.Int("users", 20_000, "RUBiS users (the paper used 200000)")
 	executions := flag.Int("executions", 50, "measured executions per transaction type")
 	factors := flag.Int("factors", 4, "max scale factor for fig13 (the paper used 10; factors above 3 can take tens of minutes with the built-in solver)")
 	maxPlans := flag.Int("max-plans", 24, "plan space bound per query for the advisor")
+	space := flag.Float64("space", 0, "advisor space budget in MB; 0 means unlimited")
 	maxNodes := flag.Int("max-nodes", 500, "branch and bound node budget per solve")
 	workers := flag.Int("workers", 0, "advisor worker goroutines; 0 means all CPUs (results are identical for every value)")
 	faultRates := flag.String("faults", "", "comma-separated fault rates for the chaos and quorum experiments")
 	seed := flag.Int64("seed", 7, "fault seed for the chaos and quorum experiments; the same seed reproduces a table bit for bit")
 	nodes := flag.Int("nodes", 5, "cluster size for the quorum experiment")
 	rf := flag.Int("rf", 3, "replication factor for the quorum experiment")
+	driftRates := flag.String("drift", "", "comma-separated drift rates in [0,1] for the drift experiment")
+	phases := flag.Int("phases", experiments.DefaultDriftPhases, "workload phases for the drift experiment")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot to this file and print a summary on exit")
@@ -94,12 +102,13 @@ func main() {
 	defer writeObservability(*metricsPath, reg, *tracePath, tracer)
 
 	opts := search.Options{
-		Workers:         *workers,
-		Planner:         planner.Config{MaxPlansPerQuery: *maxPlans},
-		MaxSupportPlans: 6,
-		BIP:             bip.Options{MaxNodes: *maxNodes},
-		Obs:             reg,
-		Trace:           tracer,
+		Workers:          *workers,
+		Planner:          planner.Config{MaxPlansPerQuery: *maxPlans},
+		MaxSupportPlans:  6,
+		SpaceBudgetBytes: *space * 1e6,
+		BIP:              bip.Options{MaxNodes: *maxNodes},
+		Obs:              reg,
+		Trace:            tracer,
 	}
 	cfg := experiments.Fig11Config{
 		RUBiS:      rubis.Config{Users: *users, Seed: 1},
@@ -170,6 +179,22 @@ func main() {
 		}
 		fmt.Println("Quorum — availability/consistency sweep on a replicated cluster (NoSE schema, bidding workload)")
 		fmt.Print(res.Format())
+	case "drift":
+		rates, err := parseRates(*driftRates)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := experiments.RunDrift(experiments.DriftConfig{
+			Base:   cfg,
+			Rates:  rates,
+			Phases: *phases,
+			Seed:   *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Drift — static-once vs re-advised schemas under workload drift (total simulated ms, migrations charged)")
+		fmt.Print(res.Format())
 	case "fig13":
 		res, err := experiments.RunFig13(experiments.Fig13Config{
 			MaxFactor: *factors,
@@ -186,8 +211,8 @@ func main() {
 	}
 }
 
-// parseRates parses a comma-separated fault rate list; empty means the
-// experiment's default sweep.
+// parseRates parses a comma-separated rate list (fault or drift rates);
+// empty means the experiment's default sweep.
 func parseRates(s string) ([]float64, error) {
 	if strings.TrimSpace(s) == "" {
 		return nil, nil
@@ -196,10 +221,10 @@ func parseRates(s string) ([]float64, error) {
 	for _, field := range strings.Split(s, ",") {
 		r, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
 		if err != nil {
-			return nil, fmt.Errorf("bad fault rate %q: %w", field, err)
+			return nil, fmt.Errorf("bad rate %q: %w", field, err)
 		}
 		if r < 0 || r > 1 {
-			return nil, fmt.Errorf("fault rate %g outside [0, 1]", r)
+			return nil, fmt.Errorf("rate %g outside [0, 1]", r)
 		}
 		rates = append(rates, r)
 	}

@@ -362,7 +362,7 @@ func (c *Coordinator) Get(name string, req backend.GetRequest) (*backend.GetResu
 		c.stats.Hedges++
 		c.co.hedges.Inc()
 		c.stats.ReplicaReads++
-			c.co.replicaReads.Inc()
+		c.co.replicaReads.Inc()
 		fe, factor := c.decide(node, name, "get")
 		if fe == nil {
 			res, err := c.repl.Node(node).Get(name, req)

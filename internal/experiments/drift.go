@@ -1,0 +1,345 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"nose/internal/backend"
+	"nose/internal/cost"
+	"nose/internal/harness"
+	"nose/internal/migrate"
+	"nose/internal/rubis"
+	"nose/internal/schema"
+	"nose/internal/search"
+	"nose/internal/workload"
+)
+
+// DriftConfig parameterizes the workload-drift sweep: RUBiS traffic
+// that starts read-only (browsing) and drifts phase by phase toward the
+// write-heavy write100 mix, compared under a statically-advised schema
+// versus a re-advised schema series with migration charges.
+type DriftConfig struct {
+	// Base configures the dataset, advisor, per-phase execution budget
+	// (Executions transactions per phase), and observability exactly as
+	// in Fig. 11. Base.Mix is ignored — the drift itself decides the
+	// mixes.
+	Base Fig11Config
+	// Rates is the sweep of drift rates in [0,1]: 0 means every phase
+	// keeps the browsing mix, 1 means the final phase is fully
+	// write100. Empty means DefaultDriftRates.
+	Rates []float64
+	// Phases is the number of workload phases; minimum (and default) is
+	// set by DefaultDriftPhases.
+	Phases int
+	// Seed drives the transaction parameter sequences; both systems see
+	// identical sequences, so the comparison is paired.
+	Seed int64
+	// Migration prices column family builds. The zero value means
+	// migrate.DefaultCostParams(). The advisor sees these prices scaled
+	// by 1/(Phases·Executions) so its per-execution workload costs and
+	// the one-time build charges are on the same footing as the
+	// measured run.
+	Migration migrate.CostParams
+}
+
+// DefaultDriftRates sweeps from no drift to full browsing→write100
+// drift.
+var DefaultDriftRates = []float64{0, 0.25, 0.5, 1}
+
+// DefaultDriftPhases is the default timeline length.
+const DefaultDriftPhases = 4
+
+// DriftCell is one system's measured totals across the whole timeline
+// of one drift rate.
+type DriftCell struct {
+	// WorkloadMillis is the summed simulated response time of every
+	// executed transaction.
+	WorkloadMillis float64
+	// MigrationMillis is the summed simulated time of schema changes,
+	// including the initial installation (both systems build their
+	// first schema through the same accounted path).
+	MigrationMillis float64
+	// Migrations counts schema changes that built at least one family,
+	// initial installation included.
+	Migrations int
+	// FamiliesBuilt totals the column families built.
+	FamiliesBuilt int
+}
+
+// TotalMillis is the cell's bottom line: workload plus migration time.
+func (c DriftCell) TotalMillis() float64 {
+	return c.WorkloadMillis + c.MigrationMillis
+}
+
+// DriftRow compares the two strategies at one drift rate.
+type DriftRow struct {
+	// Rate is the drift rate.
+	Rate float64
+	// Static is the advise-once baseline: one schema, advised on the
+	// duration-weighted average of the phases, installed before phase 0
+	// and never changed.
+	Static DriftCell
+	// Readvised is the AdviseSeries schedule: per-phase schemas with
+	// mid-run migrations.
+	Readvised DriftCell
+}
+
+// DriftResult is the full sweep.
+type DriftResult struct {
+	// Rows has one entry per drift rate, in Rates order.
+	Rows []DriftRow
+	// Phases and Executions echo the run shape (Executions is the
+	// per-phase transaction budget).
+	Phases     int
+	Executions int
+}
+
+// driftWeights returns each transaction's normalized weight per phase:
+// phase t blends browsing and write100 with α = rate·t/(phases−1), and
+// each phase's weights are normalized to fractions so phases are
+// comparable and execution counts follow directly.
+func driftWeights(txns []*rubis.Transaction, rate float64, phases int) []map[string]float64 {
+	out := make([]map[string]float64, phases)
+	for t := 0; t < phases; t++ {
+		alpha := rate * float64(t) / float64(phases-1)
+		w := map[string]float64{}
+		total := 0.0
+		for _, txn := range txns {
+			v := (1-alpha)*rubis.TransactionWeight(txn, rubis.MixBrowsing) +
+				alpha*rubis.TransactionWeight(txn, rubis.MixWrite100)
+			w[txn.Name] = v
+			total += v
+		}
+		for name := range w {
+			w[name] /= total
+		}
+		out[t] = w
+	}
+	return out
+}
+
+// driftPhases attaches the per-phase weights to the workload as phase
+// overrides keyed by statement label.
+func driftPhases(w *workload.Workload, txns []*rubis.Transaction, weights []map[string]float64) []*workload.Phase {
+	var phases []*workload.Phase
+	for t, pw := range weights {
+		over := map[string]float64{}
+		for _, txn := range txns {
+			for _, st := range txn.Statements {
+				over[workload.Label(st)] = pw[txn.Name]
+			}
+		}
+		phases = append(phases, &workload.Phase{
+			Name:      fmt.Sprintf("t%d", t),
+			Overrides: over,
+		})
+	}
+	return phases
+}
+
+// averageWorkload flattens the phases to their mean weights — the
+// workload the advise-once baseline sees.
+func averageWorkload(w *workload.Workload, txns []*rubis.Transaction, weights []map[string]float64) *workload.Workload {
+	avgByTxn := map[string]float64{}
+	for _, pw := range weights {
+		for name, v := range pw {
+			avgByTxn[name] += v / float64(len(weights))
+		}
+	}
+	byLabel := map[string]float64{}
+	for _, txn := range txns {
+		for _, st := range txn.Statements {
+			byLabel[workload.Label(st)] = avgByTxn[txn.Name]
+		}
+	}
+	avg := workload.New(w.Graph)
+	for _, ws := range w.Statements {
+		avg.Statements = append(avg.Statements, &workload.WeightedStatement{
+			Statement: ws.Statement,
+			Weight:    byLabel[workload.Label(ws.Statement)],
+		})
+	}
+	return avg
+}
+
+// RunDrift sweeps drift rates over RUBiS and measures advise-once
+// versus re-advise-per-phase on total simulated cost, migration charges
+// included. Everything is deterministic: the same config and seed
+// reproduce the same table at any worker count. At rate 0 the workload
+// never changes, so re-advising buys nothing and the series advisor
+// should keep one schema; as the rate grows, the phase workloads pull
+// apart and mid-run migrations start paying for themselves.
+func RunDrift(cfg DriftConfig) (*DriftResult, error) {
+	if cfg.Base.Executions <= 0 {
+		cfg.Base.Executions = 60
+	}
+	if cfg.Phases < 2 {
+		cfg.Phases = DefaultDriftPhases
+	}
+	rates := cfg.Rates
+	if len(rates) == 0 {
+		rates = DefaultDriftRates
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 7
+	}
+	migMeasured := cfg.Migration
+	if migMeasured == (migrate.CostParams{}) {
+		migMeasured = migrate.DefaultCostParams()
+	}
+	migAdvisor := migMeasured.Scale(1 / (float64(cfg.Phases) * float64(cfg.Base.Executions)))
+
+	ds, err := rubis.Generate(cfg.Base.RUBiS)
+	if err != nil {
+		return nil, err
+	}
+	w, txns, err := rubis.Workload(ds.Graph)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &DriftResult{Phases: cfg.Phases, Executions: cfg.Base.Executions}
+	for _, rate := range rates {
+		row, err := runDriftRate(cfg, ds, w, txns, rate, migMeasured, migAdvisor)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: drift rate %g: %w", rate, err)
+		}
+		res.Rows = append(res.Rows, *row)
+	}
+	return res, nil
+}
+
+// runDriftRate measures one drift rate: advise both strategies, install
+// both systems through the accounted migration path, then execute the
+// same phased transaction schedule against each.
+func runDriftRate(cfg DriftConfig, ds *backend.Dataset, w *workload.Workload, txns []*rubis.Transaction, rate float64, migMeasured, migAdvisor migrate.CostParams) (*DriftRow, error) {
+	weights := driftWeights(txns, rate, cfg.Phases)
+
+	phased := *w
+	phased.Phases = driftPhases(w, txns, weights)
+	avg := averageWorkload(w, txns, weights)
+
+	advOpts := cfg.Base.Advisor
+	if cfg.Base.Obs != nil {
+		advOpts.Obs = cfg.Base.Obs
+	}
+	if cfg.Base.Trace != nil {
+		advOpts.Trace = cfg.Base.Trace
+	}
+	staticRec, err := search.Advise(avg, advOpts)
+	if err != nil {
+		return nil, fmt.Errorf("static advise: %w", err)
+	}
+	seriesOpts := advOpts
+	seriesOpts.Migration = migAdvisor
+	series, err := search.AdviseSeries(&phased, seriesOpts)
+	if err != nil {
+		return nil, fmt.Errorf("series advise: %w", err)
+	}
+
+	// Both systems start empty and build their first schema through the
+	// same accounted migration path, so initial installation is charged
+	// on both sides of the comparison.
+	lat := cost.DefaultParams()
+	emptyRec := func() *search.Recommendation {
+		return &search.Recommendation{Schema: schema.NewSchema()}
+	}
+	staticSys, err := harness.NewSystem("Static", ds, emptyRec(), lat)
+	if err != nil {
+		return nil, err
+	}
+	readvSys, err := harness.NewSystem("Readvised", ds, emptyRec(), lat)
+	if err != nil {
+		return nil, err
+	}
+	staticSys.EnableTrace(cfg.Base.Trace, 1, fmt.Sprintf("drift/%.2f/static", rate))
+	readvSys.EnableTrace(cfg.Base.Trace, 2, fmt.Sprintf("drift/%.2f/readvised", rate))
+	defer func() {
+		cfg.Base.Obs.Merge(staticSys.Obs())
+		cfg.Base.Obs.Merge(readvSys.Obs())
+	}()
+
+	row := &DriftRow{Rate: rate}
+	record := func(cell *DriftCell, mres *migrate.Result) {
+		cell.MigrationMillis += mres.SimMillis
+		cell.FamiliesBuilt += len(mres.Built)
+		if len(mres.Built) > 0 {
+			cell.Migrations++
+		}
+	}
+	mres, err := staticSys.Migrate(ds, &search.PhaseRecommendation{
+		Rec:   staticRec,
+		Build: staticRec.Schema.Indexes(),
+	}, migMeasured)
+	if err != nil {
+		return nil, err
+	}
+	record(&row.Static, mres)
+
+	for t := 0; t < cfg.Phases; t++ {
+		mres, err := readvSys.Migrate(ds, series.Phases[t], migMeasured)
+		if err != nil {
+			return nil, err
+		}
+		record(&row.Readvised, mres)
+
+		for ti, txn := range txns {
+			n := int(math.Round(weights[t][txn.Name] * float64(cfg.Base.Executions)))
+			if n <= 0 {
+				continue
+			}
+			seed := cfg.Seed + int64(1000*t+ti)
+			sms, err := runDriftTxn(staticSys, txn, n, cfg.Base.RUBiS, seed)
+			if err != nil {
+				return nil, err
+			}
+			row.Static.WorkloadMillis += sms
+			rms, err := runDriftTxn(readvSys, txn, n, cfg.Base.RUBiS, seed)
+			if err != nil {
+				return nil, err
+			}
+			row.Readvised.WorkloadMillis += rms
+		}
+	}
+	return row, nil
+}
+
+// runDriftTxn executes n instances of a transaction with a fresh,
+// seeded parameter sequence — the same (seed, n) gives both systems
+// identical parameters.
+func runDriftTxn(sys *harness.System, txn *rubis.Transaction, n int, rc rubis.Config, seed int64) (float64, error) {
+	ps := rubis.NewParamSource(rc, seed)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		ms, err := sys.ExecTransaction(txn.Statements, ps.Params(txn.Name))
+		if err != nil {
+			return total, fmt.Errorf("%s on %s: %w", txn.Name, sys.Name, err)
+		}
+		total += ms
+	}
+	return total, nil
+}
+
+// Format renders the sweep as a comparison table.
+func (r *DriftResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "drift sweep: %d phases, %d transactions/phase\n", r.Phases, r.Executions)
+	fmt.Fprintf(&b, "%-6s %12s %12s %12s %10s | %12s %12s %12s %10s %6s | %8s\n",
+		"rate",
+		"stat-work", "stat-mig", "stat-total", "stat-cf",
+		"adv-work", "adv-mig", "adv-total", "adv-cf", "migs",
+		"winner")
+	for _, row := range r.Rows {
+		winner := "static"
+		if row.Readvised.TotalMillis() < row.Static.TotalMillis() {
+			winner = "readvise"
+		}
+		fmt.Fprintf(&b, "%-6.2f %12.1f %12.1f %12.1f %10d | %12.1f %12.1f %12.1f %10d %6d | %8s\n",
+			row.Rate,
+			row.Static.WorkloadMillis, row.Static.MigrationMillis, row.Static.TotalMillis(), row.Static.FamiliesBuilt,
+			row.Readvised.WorkloadMillis, row.Readvised.MigrationMillis, row.Readvised.TotalMillis(), row.Readvised.FamiliesBuilt,
+			row.Readvised.Migrations, winner)
+	}
+	return b.String()
+}

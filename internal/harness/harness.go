@@ -23,6 +23,7 @@ import (
 	"nose/internal/cost"
 	"nose/internal/executor"
 	"nose/internal/faults"
+	"nose/internal/migrate"
 	"nose/internal/obs"
 	"nose/internal/planner"
 	"nose/internal/search"
@@ -202,16 +203,27 @@ func NewReplicatedSystem(name string, ds *backend.Dataset, rec *search.Recommend
 func newSystem(name string, rec *search.Recommendation, lat cost.Params) *System {
 	reg := obs.NewRegistry()
 	s := &System{
-		Name:       name,
-		Rec:        rec,
-		lat:        lat,
-		queryPlans: map[workload.Statement]*planner.Plan{},
-		planLists:  map[workload.Statement][]*planner.Plan{},
-		writeRecs:  map[workload.Statement][]*search.UpdateRecommendation{},
-		down:       map[string]bool{},
-		reg:        reg,
-		robust:     newRobustCounters(reg),
+		Name:   name,
+		lat:    lat,
+		down:   map[string]bool{},
+		reg:    reg,
+		robust: newRobustCounters(reg),
 	}
+	s.adoptRecommendation(rec)
+	return s
+}
+
+// adoptRecommendation swaps the system onto a recommendation's schema
+// and plans: every subsequent statement executes the new plans. The
+// caller is responsible for the store actually holding the new schema's
+// column families (NewSystem installs them; Migrate builds the delta).
+func (s *System) adoptRecommendation(rec *search.Recommendation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Rec = rec
+	s.queryPlans = map[workload.Statement]*planner.Plan{}
+	s.planLists = map[workload.Statement][]*planner.Plan{}
+	s.writeRecs = map[workload.Statement][]*search.UpdateRecommendation{}
 	for _, qr := range rec.Queries {
 		s.queryPlans[qr.Statement.Statement] = qr.Plan
 		list := []*planner.Plan{qr.Plan}
@@ -226,7 +238,50 @@ func newSystem(name string, rec *search.Recommendation, lat cost.Params) *System
 		st := ur.Statement.Statement
 		s.writeRecs[st] = append(s.writeRecs[st], ur)
 	}
-	return s
+}
+
+// Migrate moves the running system to the next phase of a schema
+// series: it builds the phase's new column families from the dataset
+// record by record (every put charged at the store's simulated service
+// time), drops the families the new schema abandons, and swaps the
+// system onto the phase's plans. The returned result carries the
+// simulated milliseconds the migration consumed; the time also lands on
+// the system's trace lane and in its metric registry, so mid-run
+// migrations are visible in the same places statement executions are.
+// Migrate is a stop-the-world step: it must not run concurrently with
+// statement execution.
+func (s *System) Migrate(ds *backend.Dataset, pr *search.PhaseRecommendation, p migrate.CostParams) (*migrate.Result, error) {
+	var store migrate.Store = s.Store
+	if s.Repl != nil {
+		store = s.Repl
+	}
+	res, err := migrate.Apply(ds, store, pr.Build, pr.Drop, p)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: migrate to phase %q: %w", s.Name, phaseName(pr), err)
+	}
+	s.adoptRecommendation(pr.Rec)
+
+	s.reg.Counter("harness.migrations").Inc()
+	s.reg.Counter("harness.migration_families_built").Add(int64(len(res.Built)))
+	s.reg.Counter("harness.migration_families_dropped").Add(int64(len(res.Dropped)))
+	s.reg.Counter("harness.migration_records").Add(int64(res.Records))
+	s.reg.Gauge("harness.migration_sim_ms").Add(res.SimMillis)
+
+	s.traceMu.Lock()
+	if s.tracer != nil {
+		s.tracer.SimEvent("migrate -> "+phaseName(pr), "migration", s.traceTid, s.traceCursor, res.SimMillis,
+			map[string]any{"built": len(res.Built), "dropped": len(res.Dropped), "records": res.Records})
+		s.traceCursor += res.SimMillis
+	}
+	s.traceMu.Unlock()
+	return res, nil
+}
+
+func phaseName(pr *search.PhaseRecommendation) string {
+	if pr.Phase == nil {
+		return "workload"
+	}
+	return pr.Phase.Name
 }
 
 // EnableFaults interposes a deterministic fault injector between the

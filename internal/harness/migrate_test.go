@@ -1,0 +1,84 @@
+package harness_test
+
+import (
+	"testing"
+
+	"nose/internal/baselines"
+	"nose/internal/cost"
+	"nose/internal/harness"
+	"nose/internal/migrate"
+	"nose/internal/planner"
+	"nose/internal/rubis"
+	"nose/internal/schema"
+	"nose/internal/search"
+)
+
+// TestMigrateInstallsAndAdoptsRecommendation: a system born with an
+// empty schema must, after one Migrate, hold the recommendation's
+// column families (charged simulated time) and execute every
+// transaction against them — the mid-run re-advising path the drift
+// experiment exercises.
+func TestMigrateInstallsAndAdoptsRecommendation(t *testing.T) {
+	cfg := rubis.Config{Users: 200, Seed: 3}
+	ds, err := rubis.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, txns, err := rubis.Workload(ds.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := baselines.ExpertRUBiS(ds.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := baselines.Recommend(w, pool, cost.Default(), planner.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys, err := harness.NewSystem("migrating", ds,
+		&search.Recommendation{Schema: schema.NewSchema()}, cost.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Before the migration the system has no plans: queries must fail.
+	ps := rubis.NewParamSource(cfg, 1)
+	if _, err := sys.ExecTransaction(txns[0].Statements, ps.Params(txns[0].Name)); err == nil {
+		t.Fatal("empty system executed a transaction")
+	}
+
+	res, err := sys.Migrate(ds, &search.PhaseRecommendation{
+		Rec:   rec,
+		Build: rec.Schema.Indexes(),
+	}, migrate.DefaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Built) != rec.Schema.Len() {
+		t.Errorf("built %d of %d families", len(res.Built), rec.Schema.Len())
+	}
+	if res.SimMillis <= 0 || res.Records <= 0 {
+		t.Errorf("migration charged nothing: %+v", res)
+	}
+
+	// After the migration every transaction runs on the new schema.
+	ps = rubis.NewParamSource(cfg, 1)
+	for _, txn := range txns {
+		if _, err := sys.ExecTransaction(txn.Statements, ps.Params(txn.Name)); err != nil {
+			t.Fatalf("%s after migration: %v", txn.Name, err)
+		}
+	}
+
+	reg := sys.Obs()
+	if got := reg.Counter("harness.migrations").Value(); got != 1 {
+		t.Errorf("harness.migrations = %d, want 1", got)
+	}
+	if got := reg.Counter("harness.migration_families_built").Value(); got != int64(len(res.Built)) {
+		t.Errorf("harness.migration_families_built = %d, want %d", got, len(res.Built))
+	}
+	if got := reg.Gauge("harness.migration_sim_ms").Value(); got != res.SimMillis {
+		t.Errorf("harness.migration_sim_ms = %v, want %v", got, res.SimMillis)
+	}
+}

@@ -35,6 +35,17 @@ func FuzzParse(f *testing.F) {
 		"entity User UserID 10\nattr User.Name string\n" +
 			"stmt 0.3 U: UPDATE User FROM User SET Name = ? WHERE User.UserID = ?id\n",
 		"mix busy Q=2 I=1\n",
+		// Phase blocks: valid forms — bare, duration, mix reference,
+		// per-statement overrides, and combinations.
+		"entity User UserID 10\nattr User.Name string\n" +
+			"stmt 1.0 Q: SELECT User.Name FROM User WHERE User.UserID = ?id\n" +
+			"phase launch\n",
+		"entity User UserID 10\nattr User.Name string\n" +
+			"stmt 1.0 Q: SELECT User.Name FROM User WHERE User.UserID = ?id\n" +
+			"phase launch duration 2 Q=0.9\nphase steady duration 8 Q=0.1\n",
+		"entity User UserID 10\nattr User.Name string\n" +
+			"stmt 1.0 Q: SELECT User.Name FROM User WHERE User.UserID = ?id\n" +
+			"mix busy Q=2\nphase peak mix busy\n",
 		// Malformed fragments: the error paths are the fuzz target's bread
 		// and butter.
 		"entity\n",
@@ -45,6 +56,18 @@ func FuzzParse(f *testing.F) {
 		"entity User UserID 100 entity User UserID 100\n",
 		"\x00\xff\xfe",
 		"stmt 1e308 Q: SELECT A.B FROM A WHERE A.B = ?x\n",
+		// Malformed phase blocks: missing name, bad duration, unknown
+		// mix, override on a statement that does not exist, stray "=".
+		"phase\n",
+		"phase p duration\n",
+		"phase p duration zero\n",
+		"phase p duration -1\n",
+		"phase p mix\n",
+		"phase p mix nope\n",
+		"phase p Q=0.5\n",
+		"phase p Q=\n",
+		"phase p=q duration 1\n",
+		"phase p duration 1\nphase p duration 1\n",
 	}
 	for _, s := range seeds {
 		f.Add(s)

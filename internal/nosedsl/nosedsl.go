@@ -17,6 +17,17 @@
 // starting with whitespace. Lines starting with '#' are comments. The
 // optional per-mix form "stmt mix(name)=w,name2=w2 label: ..." attaches
 // mix weights.
+//
+// Time-dependent workloads add phase directives after the statements:
+//
+//	phase launch duration 2 RoomsByCity=0.9
+//	phase steady mix bidding
+//
+// Each phase names an interval of the timeline, with an optional
+// relative duration (default 1), an optional named mix supplying the
+// interval's weights, and optional Label=weight overrides that pin
+// individual statements' weights. Phases are what cmd/nose -phases and
+// search.AdviseSeries consume.
 package nosedsl
 
 import (
@@ -28,10 +39,19 @@ import (
 	"nose/internal/workload"
 )
 
+// deferredLine is a directive whose parsing waits until the model (and,
+// for phases, the statement set) is complete. The original line number
+// is kept for error reporting.
+type deferredLine struct {
+	line int
+	text string
+}
+
 // Parse reads a model and workload from DSL text.
 func Parse(src string) (*model.Graph, *workload.Workload, error) {
 	g := model.NewGraph()
-	var stmtLines []string // deferred until the model is complete
+	var stmtLines []deferredLine  // deferred until the model is complete
+	var phaseLines []deferredLine // deferred until the statements are parsed
 
 	lines := strings.Split(src, "\n")
 	for i := 0; i < len(lines); i++ {
@@ -111,12 +131,15 @@ func Parse(src string) (*model.Graph, *workload.Workload, error) {
 			}
 		case "stmt":
 			// Gather continuation lines (indented).
+			start := i
 			stmt := trimmed
 			for i+1 < len(lines) && isContinuation(lines[i+1]) {
 				i++
 				stmt += " " + strings.TrimSpace(lines[i])
 			}
-			stmtLines = append(stmtLines, stmt)
+			stmtLines = append(stmtLines, deferredLine{line: start, text: stmt})
+		case "phase":
+			phaseLines = append(phaseLines, deferredLine{line: i, text: trimmed})
 		default:
 			return nil, nil, lineErr(i, "unknown directive %q", fields[0])
 		}
@@ -126,12 +149,20 @@ func Parse(src string) (*model.Graph, *workload.Workload, error) {
 	}
 
 	w := workload.New(g)
-	for _, line := range stmtLines {
-		if err := parseStmtLine(g, w, line); err != nil {
-			return nil, nil, err
+	for _, dl := range stmtLines {
+		if err := parseStmtLine(g, w, dl.text); err != nil {
+			return nil, nil, lineErr(dl.line, "%v", err)
 		}
 	}
 	if err := w.Validate(); err != nil {
+		return nil, nil, err
+	}
+	for _, dl := range phaseLines {
+		if err := parsePhaseLine(w, dl.text); err != nil {
+			return nil, nil, lineErr(dl.line, "%v", err)
+		}
+	}
+	if err := w.ValidatePhases(); err != nil {
 		return nil, nil, err
 	}
 	return g, w, nil
@@ -142,15 +173,16 @@ func isContinuation(line string) bool {
 }
 
 // parseStmtLine parses "stmt <weight-or-mixes> [label]: <statement>".
+// Errors are unprefixed; the caller attaches the file line.
 func parseStmtLine(g *model.Graph, w *workload.Workload, line string) error {
 	rest := strings.TrimSpace(strings.TrimPrefix(line, "stmt"))
 	head, body, ok := strings.Cut(rest, ":")
 	if !ok {
-		return fmt.Errorf("nosedsl: statement line missing ':' separator: %q", line)
+		return fmt.Errorf("statement line missing ':' separator: %q", line)
 	}
 	headFields := strings.Fields(head)
 	if len(headFields) == 0 {
-		return fmt.Errorf("nosedsl: statement line missing weight: %q", line)
+		return fmt.Errorf("statement line missing weight: %q", line)
 	}
 
 	st, err := workload.Parse(g, strings.TrimSpace(body))
@@ -170,11 +202,11 @@ func parseStmtLine(g *model.Graph, w *workload.Workload, line string) error {
 		for _, part := range strings.Split(mixes, ",") {
 			name, val, ok := strings.Cut(part, "=")
 			if !ok {
-				return fmt.Errorf("nosedsl: bad mix spec %q", spec)
+				return fmt.Errorf("bad mix spec %q", spec)
 			}
 			f, err := strconv.ParseFloat(val, 64)
 			if err != nil {
-				return fmt.Errorf("nosedsl: bad mix weight %q", val)
+				return fmt.Errorf("bad mix weight %q", val)
 			}
 			weights[name] = f
 		}
@@ -183,9 +215,59 @@ func parseStmtLine(g *model.Graph, w *workload.Workload, line string) error {
 	}
 	weight, err := strconv.ParseFloat(spec, 64)
 	if err != nil {
-		return fmt.Errorf("nosedsl: bad statement weight %q", spec)
+		return fmt.Errorf("bad statement weight %q", spec)
 	}
 	w.Add(st, weight)
+	return nil
+}
+
+// parsePhaseLine parses "phase <name> [duration <f>] [mix <name>]
+// [Label=<weight> ...]". Errors are unprefixed; the caller attaches the
+// file line.
+func parsePhaseLine(w *workload.Workload, line string) error {
+	fields := strings.Fields(strings.TrimPrefix(line, "phase"))
+	if len(fields) == 0 {
+		return fmt.Errorf("phase requires: phase <name> [duration <f>] [mix <name>] [Label=<weight> ...]")
+	}
+	p := &workload.Phase{Name: fields[0]}
+	if strings.Contains(p.Name, "=") {
+		return fmt.Errorf("phase name missing (got override %q first)", p.Name)
+	}
+	rest := fields[1:]
+	for len(rest) > 0 {
+		switch {
+		case rest[0] == "duration":
+			if len(rest) < 2 {
+				return fmt.Errorf("phase duration missing a value")
+			}
+			f, err := strconv.ParseFloat(rest[1], 64)
+			if err != nil || f <= 0 {
+				return fmt.Errorf("bad phase duration %q", rest[1])
+			}
+			p.Duration = f
+			rest = rest[2:]
+		case rest[0] == "mix":
+			if len(rest) < 2 {
+				return fmt.Errorf("phase mix missing a name")
+			}
+			p.Mix = rest[1]
+			rest = rest[2:]
+		case strings.Contains(rest[0], "="):
+			label, val, _ := strings.Cut(rest[0], "=")
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return fmt.Errorf("bad phase override weight %q", val)
+			}
+			if p.Overrides == nil {
+				p.Overrides = map[string]float64{}
+			}
+			p.Overrides[label] = f
+			rest = rest[1:]
+		default:
+			return fmt.Errorf("unknown phase option %q", rest[0])
+		}
+	}
+	w.AddPhase(p)
 	return nil
 }
 

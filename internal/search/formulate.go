@@ -55,6 +55,14 @@ type builder struct {
 	// elision is exact and shrinks the program dramatically for
 	// read-mostly workloads.
 	maint map[string]float64
+
+	// paidAll disables the free-family elision: every pool index gets a
+	// presence variable. The multi-interval series formulation needs
+	// this because presence is never free there — a family present in
+	// one phase but not the previous one is charged its migration build
+	// cost, so the solver must decide presence explicitly even for
+	// maintenance-free families.
+	paidAll bool
 }
 
 // colRefs maps BIP columns back to schema objects and plans.
@@ -316,9 +324,10 @@ func mergeSelects(dst, src *workload.Query) {
 }
 
 // paid reports whether an index needs a presence variable: it carries
-// maintenance cost, or a storage budget prices every index.
+// maintenance cost, a storage budget prices every index, or the series
+// formulation demands explicit presence for everything.
 func (b *builder) paid(id string) bool {
-	return b.maint[id] > 0 || b.opt.SpaceBudgetBytes > 0
+	return b.paidAll || b.maint[id] > 0 || b.opt.SpaceBudgetBytes > 0
 }
 
 // formulate builds the BIP. With pinCost nil it minimizes weighted

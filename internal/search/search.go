@@ -13,6 +13,7 @@ import (
 	"nose/internal/bip"
 	"nose/internal/cost"
 	"nose/internal/enumerator"
+	"nose/internal/migrate"
 	"nose/internal/obs"
 	"nose/internal/par"
 	"nose/internal/planner"
@@ -47,6 +48,10 @@ type Options struct {
 	// SkipMinimizeSchema disables the second solver phase that
 	// minimizes the number of column families at optimal cost.
 	SkipMinimizeSchema bool
+	// Migration prices the column family builds AdviseSeries charges at
+	// phase boundaries; the zero value means
+	// migrate.DefaultCostParams(). Ignored by Advise.
+	Migration migrate.CostParams
 	// Obs, when non-nil, receives pipeline metrics: deterministic
 	// search.*/enum.*/bip.*/lp.* counters, wall-clock stage gauges, and
 	// volatile cost-cache counters. Nil disables metrics at no cost.

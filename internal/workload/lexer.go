@@ -24,7 +24,7 @@ const (
 type token struct {
 	kind tokenKind
 	text string
-	pos  int
+	pos  int // byte offset of the token's first character in the source
 }
 
 func (t token) String() string {
@@ -46,27 +46,28 @@ func lex(src string) ([]token, error) {
 	l := &lexer{src: src}
 	for {
 		l.skipSpace()
+		start := l.pos
 		if l.pos >= len(l.src) {
-			l.emit(tokEOF, "")
+			l.emit(tokEOF, "", start)
 			return l.tokens, nil
 		}
 		c := l.src[l.pos]
 		switch {
 		case c == ',':
-			l.emit(tokComma, ",")
 			l.pos++
+			l.emit(tokComma, ",", start)
 		case c == '.':
-			l.emit(tokDot, ".")
 			l.pos++
+			l.emit(tokDot, ".", start)
 		case c == '(':
-			l.emit(tokLParen, "(")
 			l.pos++
+			l.emit(tokLParen, "(", start)
 		case c == ')':
-			l.emit(tokRParen, ")")
 			l.pos++
+			l.emit(tokRParen, ")", start)
 		case c == '=':
-			l.emit(tokOp, "=")
 			l.pos++
+			l.emit(tokOp, "=", start)
 		case c == '<' || c == '>':
 			op := string(c)
 			l.pos++
@@ -74,28 +75,26 @@ func lex(src string) ([]token, error) {
 				op += "="
 				l.pos++
 			}
-			l.emit(tokOp, op)
+			l.emit(tokOp, op, start)
 		case c == '?':
-			start := l.pos
 			l.pos++
 			for l.pos < len(l.src) && isIdentChar(rune(l.src[l.pos])) {
 				l.pos++
 			}
-			l.emit(tokParam, l.src[start:l.pos])
+			l.emit(tokParam, l.src[start:l.pos], start)
 		case unicode.IsDigit(rune(c)):
-			start := l.pos
 			for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
 				l.pos++
 			}
-			l.emit(tokNumber, l.src[start:l.pos])
+			l.emit(tokNumber, l.src[start:l.pos], start)
 		case isIdentStart(rune(c)):
-			start := l.pos
 			for l.pos < len(l.src) && isIdentChar(rune(l.src[l.pos])) {
 				l.pos++
 			}
-			l.emit(tokIdent, l.src[start:l.pos])
+			l.emit(tokIdent, l.src[start:l.pos], start)
 		default:
-			return nil, fmt.Errorf("workload: unexpected character %q at offset %d", c, l.pos)
+			line, col := lineCol(src, l.pos)
+			return nil, fmt.Errorf("workload: line %d, column %d: unexpected character %q", line, col, c)
 		}
 	}
 }
@@ -106,8 +105,26 @@ func (l *lexer) skipSpace() {
 	}
 }
 
-func (l *lexer) emit(k tokenKind, text string) {
-	l.tokens = append(l.tokens, token{kind: k, text: text, pos: l.pos})
+func (l *lexer) emit(k tokenKind, text string, start int) {
+	l.tokens = append(l.tokens, token{kind: k, text: text, pos: start})
+}
+
+// lineCol converts a byte offset in src to a 1-based line and column,
+// for error messages. Offsets past the end report the final position.
+func lineCol(src string, pos int) (line, col int) {
+	if pos > len(src) {
+		pos = len(src)
+	}
+	line, col = 1, 1
+	for _, c := range src[:pos] {
+		if c == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
 }
 
 func isIdentStart(r rune) bool {

@@ -88,9 +88,16 @@ func (p *parser) keyword(kw string) bool {
 	return false
 }
 
+// errAt formats a parse error positioned at the given token's line and
+// column within the statement source.
+func (p *parser) errAt(t token, format string, args ...any) error {
+	line, col := lineCol(p.src, t.pos)
+	return fmt.Errorf("workload: line %d, column %d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
 func (p *parser) expectKeyword(kw string) error {
 	if !p.keyword(kw) {
-		return fmt.Errorf("workload: expected %s, found %s", kw, p.peek())
+		return p.errAt(p.peek(), "expected %s, found %s", kw, p.peek())
 	}
 	return nil
 }
@@ -98,7 +105,7 @@ func (p *parser) expectKeyword(kw string) error {
 func (p *parser) expect(k tokenKind, what string) (token, error) {
 	t := p.next()
 	if t.kind != k {
-		return token{}, fmt.Errorf("workload: expected %s, found %s", what, t)
+		return token{}, p.errAt(t, "expected %s, found %s", what, t)
 	}
 	return t, nil
 }
@@ -150,7 +157,7 @@ func (p *parser) parseStatement() (Statement, error) {
 	case p.keyword("DISCONNECT"):
 		return p.parseConnect(true)
 	default:
-		return nil, fmt.Errorf("workload: expected a statement keyword, found %s", p.peek())
+		return nil, p.errAt(p.peek(), "expected a statement keyword, found %s", p.peek())
 	}
 }
 
@@ -217,7 +224,7 @@ func (p *parser) parseSelect() (Statement, error) {
 		q.Limit, _ = strconv.Atoi(t.text)
 	}
 	if !p.atEOF() {
-		return nil, fmt.Errorf("workload: unexpected trailing input %s", p.peek())
+		return nil, p.errAt(p.peek(), "unexpected trailing input %s", p.peek())
 	}
 
 	// Resolve the SELECT list last so select-only navigation can also
@@ -295,7 +302,7 @@ func (p *parser) parseInsert() (Statement, error) {
 	}
 	entity := p.graph.Entity(t.text)
 	if entity == nil {
-		return nil, fmt.Errorf("workload: no entity %q", t.text)
+		return nil, p.errAt(t, "no entity %q", t.text)
 	}
 	if err := p.expectKeyword("SET"); err != nil {
 		return nil, err
@@ -339,7 +346,7 @@ func (p *parser) parseInsert() (Statement, error) {
 		}
 	}
 	if !p.atEOF() {
-		return nil, fmt.Errorf("workload: unexpected trailing input %s", p.peek())
+		return nil, p.errAt(p.peek(), "unexpected trailing input %s", p.peek())
 	}
 	return ins, nil
 }
@@ -414,7 +421,7 @@ func (p *parser) parseUpdate() (Statement, error) {
 	}
 	entity := p.graph.Entity(t.text)
 	if entity == nil {
-		return nil, fmt.Errorf("workload: no entity %q", t.text)
+		return nil, p.errAt(t, "no entity %q", t.text)
 	}
 	path := model.NewPath(entity)
 	if p.keyword("FROM") {
@@ -443,7 +450,7 @@ func (p *parser) parseUpdate() (Statement, error) {
 		return nil, err
 	}
 	if !p.atEOF() {
-		return nil, fmt.Errorf("workload: unexpected trailing input %s", p.peek())
+		return nil, p.errAt(p.peek(), "unexpected trailing input %s", p.peek())
 	}
 	return &Update{Graph: p.graph, Path: r.path, Set: set, Where: where}, nil
 }
@@ -466,7 +473,7 @@ func (p *parser) parseDelete() (Statement, error) {
 		return nil, err
 	}
 	if !p.atEOF() {
-		return nil, fmt.Errorf("workload: unexpected trailing input %s", p.peek())
+		return nil, p.errAt(p.peek(), "unexpected trailing input %s", p.peek())
 	}
 	return &Delete{Graph: p.graph, Path: r.path, Where: where}, nil
 }
@@ -480,7 +487,7 @@ func (p *parser) parseConnect(disconnect bool) (Statement, error) {
 	}
 	entity := p.graph.Entity(t.text)
 	if entity == nil {
-		return nil, fmt.Errorf("workload: no entity %q", t.text)
+		return nil, p.errAt(t, "no entity %q", t.text)
 	}
 	if _, err := p.expect(tokLParen, "'('"); err != nil {
 		return nil, err
@@ -504,7 +511,7 @@ func (p *parser) parseConnect(disconnect bool) (Statement, error) {
 		return nil, err
 	}
 	if !p.atEOF() {
-		return nil, fmt.Errorf("workload: unexpected trailing input %s", p.peek())
+		return nil, p.errAt(p.peek(), "unexpected trailing input %s", p.peek())
 	}
 	return &Connect{
 		Graph:      p.graph,

@@ -41,6 +41,9 @@ type Workload struct {
 	// ActiveMix selects which mix's weights apply; empty means the
 	// default weights.
 	ActiveMix string
+	// Phases, when non-empty, orders the time-dependent intervals of
+	// the workload; see Phase. Static advising ignores it.
+	Phases []*Phase
 }
 
 // New returns an empty workload over the given conceptual model.
