@@ -13,10 +13,14 @@ package nose_test
 import (
 	"testing"
 
+	"nose/internal/baselines"
 	"nose/internal/bip"
+	"nose/internal/cost"
 	"nose/internal/enumerator"
 	"nose/internal/experiments"
+	"nose/internal/harness"
 	"nose/internal/hotel"
+	"nose/internal/migrate"
 	"nose/internal/planner"
 	"nose/internal/randwork"
 	"nose/internal/rubis"
@@ -278,6 +282,84 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return string(digits)
+}
+
+// BenchmarkDualWriteOverhead measures what forwarding writes to the
+// column families a live migration is building costs per transaction:
+// the same RUBiS transaction mix executes against one system with no
+// migration and one holding a paused live migration in its dual-write
+// window. The reported sim-ms metrics are the simulated response-time
+// averages; the wall-clock delta is the harness-side forwarding
+// overhead the benchdiff gate watches.
+func BenchmarkDualWriteOverhead(b *testing.B) {
+	cfg := rubis.Config{Users: 500, Seed: 1}
+	ds, err := rubis.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, txns, err := rubis.Workload(ds.Graph)
+	if err != nil {
+		b.Fatal(err)
+	}
+	expertPool, err := baselines.ExpertRUBiS(ds.Graph)
+	if err != nil {
+		b.Fatal(err)
+	}
+	from, err := baselines.Recommend(w, expertPool, cost.Default(), planner.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	normPool, err := baselines.Normalized(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	to, err := baselines.Recommend(w, normPool, cost.Default(), planner.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	run := func(b *testing.B, sys *harness.System) float64 {
+		b.Helper()
+		ps := rubis.NewParamSource(cfg, 9)
+		sim := 0.0
+		n := 0
+		for i := 0; i < b.N; i++ {
+			txn := txns[i%len(txns)]
+			ms, err := sys.ExecTransaction(txn.Statements, ps.Params(txn.Name))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim += ms
+			n++
+		}
+		return sim / float64(n)
+	}
+
+	b.Run("baseline", func(b *testing.B) {
+		sys, err := harness.NewSystem("baseline", ds, from, cost.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.ReportMetric(run(b, sys), "sim-ms/txn")
+	})
+	b.Run("dualwrite", func(b *testing.B) {
+		sys, err := harness.NewSystem("dualwrite", ds, from, cost.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		build, drop := migrate.Diff(from.Schema, to.Schema)
+		ctrl, err := sys.StartLiveMigration(ds, &search.PhaseRecommendation{Rec: to, Build: build, Drop: drop},
+			migrate.LiveOptions{Params: migrate.DefaultCostParams()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Hold the migration in its dual-write window so every write
+		// transaction pays the forwarding cost.
+		ctrl.Pause()
+		b.ResetTimer()
+		b.ReportMetric(run(b, sys), "sim-ms/txn")
+	})
 }
 
 // BenchmarkBudgetSweep is the storage-budget ablation (paper §III-D,

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	nose -in workload.nose [-space bytes] [-mix name] [-max-plans n] [-workers n] [-phases] [-faults] [-rf n] [-v]
+//	nose -in workload.nose [-space bytes] [-mix name] [-max-plans n] [-workers n] [-phases] [-faults] [-rf n] [-drift-report] [-v]
 //
 // With -phases (and a workload whose .nose file declares phase blocks)
 // the advisor solves the time-dependent problem instead: one schema per
@@ -19,6 +19,13 @@
 // unavailable. With -rf it also prints the node-failure tolerance of a
 // replicated deployment at each consistency level (see
 // internal/backend.ReplicatedStore).
+//
+// With -drift-report (and a workload declaring at least two mixes) the
+// report adds one line per declared mix: its total-variation divergence
+// from the active mix, whether the default online drift detector would
+// call that drift, and how many column families a migration from the
+// active mix's schema to that mix's schema would build and drop (see
+// internal/drift and internal/migrate).
 package main
 
 import (
@@ -27,7 +34,9 @@ import (
 	"os"
 	"time"
 
+	"nose/internal/drift"
 	"nose/internal/executor"
+	"nose/internal/migrate"
 	"nose/internal/nosedsl"
 	"nose/internal/obs"
 	"nose/internal/planner"
@@ -43,6 +52,7 @@ func main() {
 	workers := flag.Int("workers", 0, "advisor worker goroutines; 0 means all CPUs (the recommendation is identical for every value)")
 	phases := flag.Bool("phases", false, "advise a per-phase schema series with migration charges (requires phase blocks in the workload)")
 	faultsReport := flag.Bool("faults", false, "print each query's failover readiness (executable alternative plans)")
+	driftReport := flag.Bool("drift-report", false, "print each declared mix's divergence from the active mix and the schema migration it would require")
 	rf := flag.Int("rf", 0, "with -faults: also print node-failure tolerance for a replicated deployment at this replication factor")
 	verbose := flag.Bool("v", false, "print update maintenance plans and timings")
 	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot of the advisor run to this file and print a summary")
@@ -137,6 +147,12 @@ func main() {
 		}
 	}
 
+	if *driftReport {
+		if err := printDriftReport(w, rec, opts); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *verbose {
 		fmt.Println("\nUpdate maintenance:")
 		for _, ur := range rec.Updates {
@@ -154,6 +170,49 @@ func main() {
 	}
 
 	writeObservability(*metricsPath, reg, *tracePath, tracer)
+}
+
+// printDriftReport advises each declared mix and reports, against the
+// active mix's recommendation: the total-variation divergence between
+// the two statement mixes (would the default online detector call it
+// drift?) and the migration the schema change would require.
+func printDriftReport(w *workload.Workload, rec *search.Recommendation, opts search.Options) error {
+	mixes := w.Mixes()
+	if len(mixes) < 2 {
+		return fmt.Errorf("-drift-report needs at least two declared mixes; workload has %d", len(mixes))
+	}
+	active := w.ActiveMix
+	threshold := drift.Config{}.Normalized().Threshold
+	fmt.Printf("\nDrift report (active mix %q, detector threshold %.2f):\n", active, threshold)
+	for _, mix := range mixes {
+		if mix == active {
+			continue
+		}
+		div := drift.TotalVariation(mixWeights(w, mix), mixWeights(w, active))
+		verdict := "steady"
+		if div >= threshold {
+			verdict = "DRIFT"
+		}
+		other := *w
+		other.ActiveMix = mix
+		otherRec, err := search.Advise(&other, opts)
+		if err != nil {
+			return fmt.Errorf("advise mix %q: %w", mix, err)
+		}
+		build, drop := migrate.Diff(rec.Schema, otherRec.Schema)
+		fmt.Printf("  %-16s divergence %.3f  %-6s  migration builds %d, drops %d of %d column families\n",
+			mix, div, verdict, len(build), len(drop), rec.Schema.Len())
+	}
+	return nil
+}
+
+// mixWeights returns a mix's normalized statement-label mix.
+func mixWeights(w *workload.Workload, mix string) map[string]float64 {
+	out := map[string]float64{}
+	for _, ws := range w.Statements {
+		out[workload.Label(ws.Statement)] += ws.WeightIn(mix)
+	}
+	return drift.Normalize(out)
 }
 
 // writeObservability flushes the run's metrics snapshot and Chrome

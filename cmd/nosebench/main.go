@@ -7,6 +7,7 @@
 //	nosebench -experiment chaos [-faults 0,0.005,0.02,0.05] [-seed 7]
 //	nosebench -experiment quorum [-faults 0,0.02,0.05,0.1] [-seed 7] [-nodes 5] [-rf 3]
 //	nosebench -experiment drift [-drift 0,0.25,0.5,1] [-phases 4] [-seed 7]
+//	nosebench -experiment online [-drift 0,0.25,0.5,1] [-phases 4] [-seed 7] [-fault-rate 0.02] [-penalty 10] [-drift-window 40] [-drift-confirm 2]
 //
 // Every experiment accepts -workers n to bound advisor parallelism
 // (0 uses all CPUs; results are identical for every value), and
@@ -25,7 +26,12 @@
 // workload sliding from browsing toward write100 across -phases
 // intervals, comparing a statically-advised schema against a
 // re-advised schema series whose mid-run migrations are charged
-// simulated time (see search.AdviseSeries).
+// simulated time (see search.AdviseSeries). Online: the same drifting
+// timeline served by three strategies — advise-once, the phase oracle,
+// and an online loop whose drift detector re-advises on the observed
+// statement mix and migrates live in the background (dual writes,
+// bounded backfill chunks) — with lost transactions charged an SLA
+// penalty, each drift rate measured clean and under node faults.
 package main
 
 import (
@@ -38,6 +44,7 @@ import (
 	"strings"
 
 	"nose/internal/bip"
+	"nose/internal/drift"
 	"nose/internal/experiments"
 	"nose/internal/obs"
 	"nose/internal/planner"
@@ -46,7 +53,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig11", "fig11, fig12, fig13, budget, ablation, chaos, quorum or drift")
+	experiment := flag.String("experiment", "fig11", "fig11, fig12, fig13, budget, ablation, chaos, quorum, drift or online")
 	users := flag.Int("users", 20_000, "RUBiS users (the paper used 200000)")
 	executions := flag.Int("executions", 50, "measured executions per transaction type")
 	factors := flag.Int("factors", 4, "max scale factor for fig13 (the paper used 10; factors above 3 can take tens of minutes with the built-in solver)")
@@ -55,11 +62,15 @@ func main() {
 	maxNodes := flag.Int("max-nodes", 500, "branch and bound node budget per solve")
 	workers := flag.Int("workers", 0, "advisor worker goroutines; 0 means all CPUs (results are identical for every value)")
 	faultRates := flag.String("faults", "", "comma-separated fault rates for the chaos and quorum experiments")
-	seed := flag.Int64("seed", 7, "fault seed for the chaos and quorum experiments; the same seed reproduces a table bit for bit")
+	seed := flag.Int64("seed", 7, "seed for the chaos, quorum, drift and online experiments; the same seed reproduces a table bit for bit")
 	nodes := flag.Int("nodes", 5, "cluster size for the quorum experiment")
 	rf := flag.Int("rf", 3, "replication factor for the quorum experiment")
-	driftRates := flag.String("drift", "", "comma-separated drift rates in [0,1] for the drift experiment")
-	phases := flag.Int("phases", experiments.DefaultDriftPhases, "workload phases for the drift experiment")
+	driftRates := flag.String("drift", "", "comma-separated drift rates in [0,1] for the drift and online experiments")
+	phases := flag.Int("phases", experiments.DefaultDriftPhases, "workload phases for the drift and online experiments")
+	faultRate := flag.Float64("fault-rate", experiments.DefaultOnlineFaultRate, "node fault rate for the online experiment's faulted rows; 0 skips them")
+	penalty := flag.Float64("penalty", experiments.DefaultOnlinePenaltyMillis, "SLA penalty in simulated ms per lost transaction in the online experiment; negative disables")
+	driftWindow := flag.Int("drift-window", 0, "online experiment: drift detector window size in statements; 0 means the drift package default")
+	driftConfirm := flag.Int("drift-confirm", 0, "online experiment: consecutive over-threshold windows required to trigger; 0 means the drift package default")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot to this file and print a summary on exit")
@@ -194,6 +205,28 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("Drift — static-once vs re-advised schemas under workload drift (total simulated ms, migrations charged)")
+		fmt.Print(res.Format())
+	case "online":
+		rates, err := parseRates(*driftRates)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := experiments.RunOnline(experiments.OnlineConfig{
+			Base:          cfg,
+			Rates:         rates,
+			Phases:        *phases,
+			Seed:          *seed,
+			FaultRate:     *faultRate,
+			PenaltyMillis: *penalty,
+			Detector: drift.Config{
+				WindowStatements: *driftWindow,
+				ConfirmWindows:   *driftConfirm,
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Online — advise-once vs phase oracle vs drift-detected live migration (total simulated ms, lost transactions penalized)")
 		fmt.Print(res.Format())
 	case "fig13":
 		res, err := experiments.RunFig13(experiments.Fig13Config{

@@ -211,7 +211,7 @@ func TestAllSystemsAgreeOnRUBiS(t *testing.T) {
 
 func runQuery(t *testing.T, sys *harness.System, st workload.Statement, params executor.Params) []string {
 	t.Helper()
-	for _, qr := range sys.Rec.Queries {
+	for _, qr := range sys.Rec().Queries {
 		if qr.Statement.Statement == st {
 			res, err := sys.Exec.ExecuteQuery(qr.Plan, params)
 			if err != nil {

@@ -54,6 +54,7 @@ type execObs struct {
 	queries, writes           *obs.Counter
 	queryErrors, writeErrors  *obs.Counter
 	retries, retryExhausted   *obs.Counter
+	backfillPuts              *obs.Counter
 	queryLat, writeLat        *obs.Histogram
 	backoffSimMs, wastedSimMs *obs.Gauge
 }
@@ -70,6 +71,7 @@ func (e *Executor) SetObs(r *obs.Registry) {
 		writeErrors:    r.Counter("exec.write_errors"),
 		retries:        r.Counter("exec.retries"),
 		retryExhausted: r.Counter("exec.retry_exhausted"),
+		backfillPuts:   r.Counter("exec.backfill_puts"),
 		queryLat:       r.Histogram("exec.query.sim_ms"),
 		writeLat:       r.Histogram("exec.write.sim_ms"),
 		backoffSimMs:   r.Gauge("exec.backoff_sim_ms"),
@@ -93,6 +95,25 @@ func NewRetrying(store backend.KVBackend, lat cost.Params, policy RetryPolicy) *
 
 // Metrics returns a snapshot of the executor's retry counters.
 func (e *Executor) Metrics() MetricsSnapshot { return e.metrics.Snapshot() }
+
+// Put writes one record into a column family through the executor's
+// store under a fresh per-operation retry budget. It is the backfill
+// write path of live schema migrations: routing the copy through the
+// executor means backfill traffic crosses the same fault injector
+// (and, on replicated systems, the same quorum coordinator) as client
+// statements, and is retried and charged identically. The returned
+// simulated time includes failed attempts and backoff.
+func (e *Executor) Put(cf string, partition, clustering, values []backend.Value) (float64, error) {
+	ms, err := e.retryOp(&stmtBudget{}, cf, func() (float64, error) {
+		pr, err := e.store.Put(cf, partition, clustering, values)
+		if err != nil {
+			return 0, err
+		}
+		return pr.SimMillis, nil
+	})
+	e.eo.backfillPuts.Inc()
+	return ms, err
+}
 
 // ExecuteQuery runs a query plan with the given parameter bindings.
 // On error the returned result, when non-nil, carries the simulated

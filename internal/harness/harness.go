@@ -18,9 +18,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"nose/internal/backend"
 	"nose/internal/cost"
+	"nose/internal/drift"
 	"nose/internal/executor"
 	"nose/internal/faults"
 	"nose/internal/migrate"
@@ -37,12 +39,42 @@ import (
 // rest of the workload.
 var ErrUnavailable = errors.New("statement unavailable: no surviving plan")
 
+// ErrMigrating reports that a stop-the-world migration and statement
+// execution collided: Migrate was called with statements in flight, or
+// a statement arrived while Migrate held the system. Either side gets
+// this error instead of racing on the store. Background migrations
+// (StartLiveMigration) never raise it — running under traffic is their
+// job.
+var ErrMigrating = errors.New("stop-the-world migration in progress")
+
+// ErrNoPlan reports that the serving schema has no plan at all for a
+// statement — the schema was never advised for it. For a query that
+// means no column family can answer it; for a write it means no column
+// family stores the written entity, so the data would silently vanish.
+// Distinct from ErrUnavailable (plans exist but every one is down):
+// ErrNoPlan means the statement cannot be served until a migration
+// installs a schema that covers it. Callers can detect it with
+// errors.Is and count the statement as lost.
+var ErrNoPlan = errors.New("no plan for statement")
+
+// planTable is one immutable snapshot of the plans a system serves.
+// Statement execution reads the whole table through a single atomic
+// load, and adopting a recommendation swaps the pointer — so a plan
+// cutover is atomic and execution never observes a half-adopted
+// recommendation.
+type planTable struct {
+	rec *search.Recommendation
+	// planLists ranks each query's executable plans for failover: the
+	// recommended plan first, then the remaining alternatives cheapest
+	// first.
+	planLists map[workload.Statement][]*planner.Plan
+	writeRecs map[workload.Statement][]*search.UpdateRecommendation
+}
+
 // System is one installed schema with its recommended plans.
 type System struct {
 	// Name labels the system in reports (e.g. "NoSE", "Normalized").
 	Name string
-	// Rec is the recommendation the system implements.
-	Rec *search.Recommendation
 	// Store holds the installed column families; nil for replicated
 	// systems (see Repl).
 	Store *backend.Store
@@ -57,20 +89,30 @@ type System struct {
 	// systems).
 	Exec *executor.Executor
 
-	lat        cost.Params
-	queryPlans map[workload.Statement]*planner.Plan
-	// planLists ranks each query's executable plans for failover: the
-	// recommended plan first, then the remaining alternatives cheapest
-	// first.
-	planLists map[workload.Statement][]*planner.Plan
-	writeRecs map[workload.Statement][]*search.UpdateRecommendation
+	lat   cost.Params
+	plans atomic.Pointer[planTable]
 
 	inj     *faults.Injector
 	nodeInj *faults.Nodes
 
-	mu     sync.Mutex
-	down   map[string]bool
-	robust robustCounters
+	// inflight counts statements currently executing; migrating marks a
+	// stop-the-world Migrate holding the system. Together they form the
+	// in-flight guard: ExecStatement increments inflight before reading
+	// migrating, Migrate sets migrating before reading inflight, so
+	// (under sequentially consistent atomics) at least one side of any
+	// collision observes the other and errors out.
+	inflight  atomic.Int64
+	migrating atomic.Bool
+
+	// live is the background migration in progress, nil when idle; det
+	// is the attached drift detector, nil unless EnableDrift ran.
+	live atomic.Pointer[liveMigration]
+	det  atomic.Pointer[drift.Detector]
+
+	mu         sync.Mutex
+	down       map[string]bool
+	pendingMix map[string]float64
+	robust     robustCounters
 
 	// reg collects every layer's metrics for this system: the store (or
 	// all replica node stores), the coordinator, the executor, the fault
@@ -82,6 +124,11 @@ type System struct {
 	traceTid    int
 	traceCursor float64
 }
+
+// Rec returns the recommendation the system currently serves. It reads
+// the atomically-swapped plan table, so it is safe to call while a
+// background migration cuts over.
+func (s *System) Rec() *search.Recommendation { return s.plans.Load().rec }
 
 // Obs returns the system's private metric registry. Callers merge it
 // into a run-wide registry with Registry.Merge; the per-system counters
@@ -214,30 +261,32 @@ func newSystem(name string, rec *search.Recommendation, lat cost.Params) *System
 }
 
 // adoptRecommendation swaps the system onto a recommendation's schema
-// and plans: every subsequent statement executes the new plans. The
-// caller is responsible for the store actually holding the new schema's
-// column families (NewSystem installs them; Migrate builds the delta).
+// and plans with one atomic pointer store: every subsequent statement
+// executes the new plans, and statements in flight finish on the table
+// they loaded. The caller is responsible for the store actually holding
+// the new schema's column families (NewSystem installs them; Migrate
+// builds the delta; a live migration backfills them before cutting
+// over).
 func (s *System) adoptRecommendation(rec *search.Recommendation) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.Rec = rec
-	s.queryPlans = map[workload.Statement]*planner.Plan{}
-	s.planLists = map[workload.Statement][]*planner.Plan{}
-	s.writeRecs = map[workload.Statement][]*search.UpdateRecommendation{}
+	pt := &planTable{
+		rec:       rec,
+		planLists: map[workload.Statement][]*planner.Plan{},
+		writeRecs: map[workload.Statement][]*search.UpdateRecommendation{},
+	}
 	for _, qr := range rec.Queries {
-		s.queryPlans[qr.Statement.Statement] = qr.Plan
 		list := []*planner.Plan{qr.Plan}
 		for _, p := range qr.Alternatives {
 			if p != qr.Plan {
 				list = append(list, p)
 			}
 		}
-		s.planLists[qr.Statement.Statement] = list
+		pt.planLists[qr.Statement.Statement] = list
 	}
 	for _, ur := range rec.Updates {
 		st := ur.Statement.Statement
-		s.writeRecs[st] = append(s.writeRecs[st], ur)
+		pt.writeRecs[st] = append(pt.writeRecs[st], ur)
 	}
+	s.plans.Store(pt)
 }
 
 // Migrate moves the running system to the next phase of a schema
@@ -248,9 +297,25 @@ func (s *System) adoptRecommendation(rec *search.Recommendation) {
 // simulated milliseconds the migration consumed; the time also lands on
 // the system's trace lane and in its metric registry, so mid-run
 // migrations are visible in the same places statement executions are.
-// Migrate is a stop-the-world step: it must not run concurrently with
-// statement execution.
+// Migrate is a stop-the-world step: calling it with statements in
+// flight (or while a live migration is running) returns ErrMigrating
+// instead of corrupting plan state; use StartLiveMigration to change
+// schema under traffic.
 func (s *System) Migrate(ds *backend.Dataset, pr *search.PhaseRecommendation, p migrate.CostParams) (*migrate.Result, error) {
+	if !s.migrating.CompareAndSwap(false, true) {
+		return nil, fmt.Errorf("harness: %s: migrate to phase %q: %w", s.Name, phaseName(pr), ErrMigrating)
+	}
+	defer s.migrating.Store(false)
+	if n := s.inflight.Load(); n != 0 {
+		return nil, fmt.Errorf("harness: %s: migrate to phase %q: %d statements in flight: %w",
+			s.Name, phaseName(pr), n, ErrMigrating)
+	}
+	if s.live.Load() != nil {
+		return nil, fmt.Errorf("harness: %s: migrate to phase %q: a live migration is running", s.Name, phaseName(pr))
+	}
+	// Align the target schema's index names with the serving schema's
+	// before touching the store (see Schema.AlignTo).
+	pr.Rec.Schema.AlignTo(s.Rec().Schema)
 	var store migrate.Store = s.Store
 	if s.Repl != nil {
 		store = s.Repl
@@ -411,27 +476,42 @@ func pickPlan(plans []*planner.Plan, avoid map[string]bool, tried map[*planner.P
 // parameters, returning the simulated response time in milliseconds.
 // On error the returned time still carries the simulated work consumed
 // (failed plan attempts, retries, backoff), so degraded executions are
-// costed rather than hidden.
+// costed rather than hidden. While a stop-the-world Migrate holds the
+// system, statements fail fast with ErrMigrating.
 func (s *System) ExecStatement(st workload.Statement, params executor.Params) (float64, error) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if s.migrating.Load() {
+		return 0, fmt.Errorf("harness: %s: statement %q: %w", s.Name, workload.Label(st), ErrMigrating)
+	}
 	ms, err := s.execStatement(st, params)
+	s.observeDrift(st)
 	s.traceStatement(st, ms, err)
 	return ms, err
 }
 
-// execStatement dispatches one statement to its query or write path.
+// execStatement dispatches one statement to its query or write path
+// against one consistent plan-table snapshot.
 func (s *System) execStatement(st workload.Statement, params executor.Params) (float64, error) {
-	if plans, ok := s.planLists[st]; ok {
+	pt := s.plans.Load()
+	if plans, ok := pt.planLists[st]; ok {
 		return s.execQuery(st, plans, params)
 	}
-	if urs, ok := s.writeRecs[st]; ok {
+	if urs, ok := pt.writeRecs[st]; ok {
 		return s.execWrite(st, urs, params)
 	}
-	// A write statement that maintains no column family of this schema
-	// costs nothing here.
+	// A write statement the serving schema has no maintenance plan for
+	// stores its data in no column family — unless an in-flight live
+	// migration's target schema forwards it to the families under
+	// construction, in which case the write has landed and succeeds.
+	// Otherwise the write is dropped: that is a lost transaction, not a
+	// free one.
 	if _, isWrite := st.(workload.WriteStatement); isWrite {
-		return 0, nil
+		if ms, forwarded := s.forwardDualWrites(st, params); forwarded {
+			return ms, nil
+		}
 	}
-	return 0, fmt.Errorf("harness: system %s has no plan for statement %q", s.Name, workload.Label(st))
+	return 0, fmt.Errorf("harness: system %s: statement %q: %w", s.Name, workload.Label(st), ErrNoPlan)
 }
 
 // execQuery runs a query with plan-level failover: each plan attempt
@@ -487,7 +567,10 @@ func (s *System) execWrite(st workload.Statement, urs []*search.UpdateRecommenda
 		total = res.SimMillis
 	}
 	if err == nil {
-		s.robust.record(total, 0, false, s.Exec.Metrics().Retries > retries0)
+		degraded := s.Exec.Metrics().Retries > retries0
+		fms, _ := s.forwardDualWrites(st, params)
+		total += fms
+		s.robust.record(total, 0, false, degraded)
 		return total, nil
 	}
 	if _, ok := faults.AsFault(err); ok {

@@ -81,7 +81,7 @@ func TestSystemStatementKinds(t *testing.T) {
 		t.Errorf("write: ms=%v err=%v", ms, err)
 	}
 	// An unknown statement errors.
-	g := sys.Rec.Queries[0].Statement.Statement.(*workload.Query).Graph
+	g := sys.Rec().Queries[0].Statement.Statement.(*workload.Query).Graph
 	foreign := workload.MustParseQuery(g, `SELECT Item.ItemName FROM Item WHERE Item.ItemID = ?x`)
 	if _, err := sys.ExecStatement(foreign, nil); err == nil {
 		t.Error("expected error for statement without a plan")

@@ -1,0 +1,248 @@
+package harness
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"nose/internal/backend"
+	"nose/internal/drift"
+	"nose/internal/executor"
+	"nose/internal/migrate"
+	"nose/internal/obs"
+	"nose/internal/search"
+	"nose/internal/workload"
+)
+
+// liveMigration is the harness's view of one background migration: the
+// controller plus the dual-write routing that keeps the families under
+// construction current while backfill runs.
+type liveMigration struct {
+	ctrl *migrate.Live
+	pr   *search.PhaseRecommendation
+	// dual maps each write statement to the target schema's maintenance
+	// of the families being built. dualDone flips when forwarding stops:
+	// at plan cutover (the new plans maintain the families directly from
+	// then on) or at abort.
+	dual     map[workload.Statement][]*search.UpdateRecommendation
+	dualDone atomic.Bool
+
+	dualWrites, dualWriteFailures *obs.Counter
+}
+
+// StartLiveMigration begins migrating the running system to a phase
+// recommendation in the background: the phase's new column families
+// are created empty (ErrMigrating if a stop-the-world Migrate holds
+// the system, an error if another live migration is running), writes
+// executed from now on are forwarded to them, and the historical
+// records are copied by repeated LiveStep calls interleaved with
+// statement execution. Backfill writes flow through the system's
+// executor — fault injector, coordinator, and retry policy included —
+// so migrating under weather is charged and endangered like any other
+// traffic. The returned controller can be used to Pause, Resume,
+// Abort, or inspect Progress; drive it with LiveStep rather than
+// calling Step directly so cutover swaps the system's plans.
+func (s *System) StartLiveMigration(ds *backend.Dataset, pr *search.PhaseRecommendation, opts migrate.LiveOptions) (*migrate.Live, error) {
+	if s.migrating.Load() {
+		return nil, fmt.Errorf("harness: %s: start live migration to %q: %w", s.Name, phaseName(pr), ErrMigrating)
+	}
+	if s.live.Load() != nil {
+		return nil, fmt.Errorf("harness: %s: start live migration to %q: a live migration is already running",
+			s.Name, phaseName(pr))
+	}
+	// The target schema comes from its own advise run, whose "cfN" names
+	// need not agree with the serving schema's: align them so structural
+	// twins keep their installed family name and fresh families never
+	// shadow an installed one. The phase's plans share the renamed Index
+	// objects, so they stay consistent.
+	pr.Rec.Schema.AlignTo(s.Rec().Schema)
+	var store migrate.Store = s.Store
+	if s.Repl != nil {
+		store = s.Repl
+	}
+	put := func(cf string, partition, clustering, values []backend.Value) (float64, error) {
+		return s.Exec.Put(cf, partition, clustering, values)
+	}
+	ctrl, err := migrate.StartLive(ds, store, pr.Build, pr.Drop, put, opts)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: start live migration to %q: %w", s.Name, phaseName(pr), err)
+	}
+
+	building := map[string]bool{}
+	for _, name := range ctrl.Building() {
+		building[name] = true
+	}
+	dual := map[workload.Statement][]*search.UpdateRecommendation{}
+	for _, ur := range pr.Rec.Updates {
+		if building[ur.Plan.Index.Name] {
+			st := ur.Statement.Statement
+			dual[st] = append(dual[st], ur)
+		}
+	}
+	lm := &liveMigration{
+		ctrl:              ctrl,
+		pr:                pr,
+		dual:              dual,
+		dualWrites:        s.reg.Counter("harness.live.dual_writes"),
+		dualWriteFailures: s.reg.Counter("harness.live.dual_write_failures"),
+	}
+	s.live.Store(lm)
+	s.reg.Counter("harness.live.started").Inc()
+	p := ctrl.Progress()
+	s.traceSpan("live-migrate start -> "+phaseName(pr), "migration", 0,
+		map[string]any{"build": len(pr.Build), "drop": len(pr.Drop), "records": p.TotalRecords})
+	return ctrl, nil
+}
+
+// LiveActive reports whether a background migration is running.
+func (s *System) LiveActive() bool { return s.live.Load() != nil }
+
+// LiveStep advances the background migration by one bounded unit of
+// work — call it between statements or transactions. When backfill
+// completes, LiveStep performs the atomic plan cutover (the system
+// serves the new schema from that instant) and stops dual-write
+// forwarding; two more steps retire the old families and finish. On
+// abort — fault budget exceeded or ctrl.Abort — the controller has
+// already rolled the new families back, LiveStep detaches it, counts
+// the abort, and returns migrate.ErrAborted; the old schema was
+// serving all along. Calling LiveStep with no migration running is an
+// error.
+func (s *System) LiveStep() (migrate.StepResult, error) {
+	lm := s.live.Load()
+	if lm == nil {
+		return migrate.StepResult{}, fmt.Errorf("harness: %s: no live migration running", s.Name)
+	}
+	sr, err := lm.ctrl.Step()
+	if sr.Copied > 0 {
+		s.reg.Counter("harness.live.backfill_records").Add(int64(sr.Copied))
+	}
+	if sr.Faults > 0 {
+		s.reg.Counter("harness.live.faults").Add(int64(sr.Faults))
+	}
+	s.reg.Gauge("harness.live.sim_ms").Add(sr.SimMillis)
+	if sr.SimMillis > 0 || sr.Transitioned {
+		s.traceSpan("live-migrate "+sr.State.String(), "migration", sr.SimMillis,
+			map[string]any{"copied": sr.Copied, "faults": sr.Faults})
+	}
+	switch {
+	case err != nil:
+		lm.dualDone.Store(true)
+		s.live.Store(nil)
+		s.reg.Counter("harness.live.aborted").Inc()
+		return sr, fmt.Errorf("harness: %s: live migration to %q: %w", s.Name, phaseName(lm.pr), err)
+	case sr.State == migrate.StateCutover && sr.Transitioned:
+		// Every record has landed: swap the plans atomically. From this
+		// load-linearization point statements execute the new schema's
+		// plans, which maintain the new families directly — forwarding
+		// is over.
+		s.adoptRecommendation(lm.pr.Rec)
+		lm.dualDone.Store(true)
+		s.reg.Counter("harness.live.cutovers").Inc()
+		s.traceSpan("live-migrate plan cutover -> "+phaseName(lm.pr), "migration", 0, nil)
+	case sr.State == migrate.StateDone:
+		s.live.Store(nil)
+		s.reg.Counter("harness.live.completed").Inc()
+	}
+	return sr, nil
+}
+
+// DrainLiveMigration runs LiveStep until the migration finishes or
+// aborts, bounded by maxSteps (<=0 means no bound). It returns the
+// terminal state and, for aborts, migrate.ErrAborted. Use it to let a
+// migration complete after its workload ends.
+func (s *System) DrainLiveMigration(maxSteps int) (migrate.State, error) {
+	for i := 0; maxSteps <= 0 || i < maxSteps; i++ {
+		lm := s.live.Load()
+		if lm == nil {
+			break
+		}
+		if _, err := s.LiveStep(); err != nil {
+			return migrate.StateAborted, err
+		}
+	}
+	if lm := s.live.Load(); lm != nil {
+		return lm.ctrl.State(), fmt.Errorf("harness: %s: live migration not finished after %d steps", s.Name, maxSteps)
+	}
+	return migrate.StateDone, nil
+}
+
+// forwardDualWrites executes the maintenance the in-flight live
+// migration's target schema requires for this statement against the
+// families under construction, reporting whether the statement was
+// forwarded at all. The forwarded write is charged into the statement's
+// simulated time (that is the dual-write overhead), but a forwarding
+// failure never fails the client statement — if the serving schema also
+// stored it the write landed there, and either way the loss is charged
+// to the migration's fault budget, keeping the abort decision inside
+// the controller.
+func (s *System) forwardDualWrites(st workload.Statement, params executor.Params) (float64, bool) {
+	lm := s.live.Load()
+	if lm == nil || lm.dualDone.Load() {
+		return 0, false
+	}
+	urs := lm.dual[st]
+	if len(urs) == 0 {
+		return 0, false
+	}
+	res, err := s.Exec.ExecuteWrite(urs, params)
+	total := 0.0
+	if res != nil {
+		total = res.SimMillis
+	}
+	lm.dualWrites.Inc()
+	if err != nil {
+		lm.dualWriteFailures.Inc()
+		lm.ctrl.NoteExternalFault()
+	}
+	return total, true
+}
+
+// EnableDrift attaches a drift detector: every executed statement is
+// observed by label, the executed mix lands in the system registry as
+// harness.mix.* counters (plus the detector's own drift.* instruments),
+// and a fired trigger parks its window mix for TakeDriftTrigger. Call
+// before executing statements.
+func (s *System) EnableDrift(det *drift.Detector) {
+	det.SetObs(s.reg)
+	s.det.Store(det)
+}
+
+// Drift returns the attached drift detector, or nil.
+func (s *System) Drift() *drift.Detector { return s.det.Load() }
+
+// observeDrift feeds one executed statement to the attached detector.
+func (s *System) observeDrift(st workload.Statement) {
+	det := s.det.Load()
+	if det == nil {
+		return
+	}
+	label := workload.Label(st)
+	s.reg.Counter("harness.mix." + label).Inc()
+	if dec := det.Observe(label); dec.Triggered {
+		s.mu.Lock()
+		s.pendingMix = dec.Mix
+		s.mu.Unlock()
+	}
+}
+
+// TakeDriftTrigger consumes the most recent unclaimed drift trigger,
+// returning the statement mix of the window that fired it — the mix to
+// re-advise on — or nil when no trigger is pending.
+func (s *System) TakeDriftTrigger() map[string]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.pendingMix
+	s.pendingMix = nil
+	return m
+}
+
+// traceSpan appends one non-statement span (migration work, cutover
+// markers) to the system's trace lane on the simulated-time cursor.
+func (s *System) traceSpan(name, cat string, ms float64, args map[string]any) {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.SimEvent(name, cat, s.traceTid, s.traceCursor, ms, args)
+	s.traceCursor += ms
+}

@@ -51,6 +51,29 @@ type RobustnessReport struct {
 	// NodeFaults reports the node-level fault domains' raw counts;
 	// zero when node faults were never enabled.
 	NodeFaults faults.NodeCounts
+	// Migration reports the live-migration ledger; zero when no
+	// background migration ever ran.
+	Migration MigrationStats
+}
+
+// MigrationStats is the live-migration slice of a RobustnessReport:
+// what changing schema under traffic did and cost.
+type MigrationStats struct {
+	// Started, CutOver, Completed and Aborted count background
+	// migrations by milestone.
+	Started, CutOver, Completed, Aborted int64
+	// BackfillRecords is the number of records copied into new
+	// families; BackfillFaults the failed operations charged against
+	// migration fault budgets (backfill put failures plus lost
+	// dual-writes).
+	BackfillRecords, BackfillFaults int64
+	// DualWrites counts statements forwarded to families under
+	// construction; DualWriteFailures the forwards that failed after
+	// retries.
+	DualWrites, DualWriteFailures int64
+	// SimMillis is the simulated time migrations consumed (backfill
+	// puts including failed attempts, plus per-family setup).
+	SimMillis float64
 }
 
 // String renders the report as a one-line summary; replicated systems
@@ -62,6 +85,12 @@ func (r RobustnessReport) String() string {
 		s += fmt.Sprintf("\nreplication: %d/%d stale reads, %d hints queued, %d replayed, %d read repairs, %d/%d hedge wins",
 			r.Replica.StaleReads, r.Replica.Reads, r.Replica.HintsQueued, r.Replica.HintsReplayed,
 			r.Replica.ReadRepairs, r.Replica.HedgeWins, r.Replica.Hedges)
+	}
+	if r.Migration != (MigrationStats{}) {
+		s += fmt.Sprintf("\nmigration: %d live (%d cutover, %d aborted), %d records backfilled (%.1f ms), %d dual-writes (%d lost), %d faults",
+			r.Migration.Started, r.Migration.CutOver, r.Migration.Aborted,
+			r.Migration.BackfillRecords, r.Migration.SimMillis,
+			r.Migration.DualWrites, r.Migration.DualWriteFailures, r.Migration.BackfillFaults)
 	}
 	return s
 }
@@ -127,6 +156,17 @@ func (s *System) Robustness() RobustnessReport {
 	}
 	if s.nodeInj != nil {
 		r.NodeFaults = s.nodeInj.Counts()
+	}
+	r.Migration = MigrationStats{
+		Started:           s.reg.Counter("harness.live.started").Value(),
+		CutOver:           s.reg.Counter("harness.live.cutovers").Value(),
+		Completed:         s.reg.Counter("harness.live.completed").Value(),
+		Aborted:           s.reg.Counter("harness.live.aborted").Value(),
+		BackfillRecords:   s.reg.Counter("harness.live.backfill_records").Value(),
+		BackfillFaults:    s.reg.Counter("harness.live.faults").Value(),
+		DualWrites:        s.reg.Counter("harness.live.dual_writes").Value(),
+		DualWriteFailures: s.reg.Counter("harness.live.dual_write_failures").Value(),
+		SimMillis:         s.reg.Gauge("harness.live.sim_ms").Value(),
 	}
 	return r
 }

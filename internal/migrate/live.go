@@ -1,0 +1,445 @@
+package migrate
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"nose/internal/backend"
+	"nose/internal/schema"
+)
+
+// State is a live migration's position in its deterministic state
+// machine. Transitions only move forward:
+//
+//	DualWrite → Backfill → Cutover → Drop → Done
+//
+// with Aborted reachable from DualWrite and Backfill when the fault
+// budget is exceeded or the caller aborts. Reaching StateCutover is
+// the point of no return: every record has landed, the caller is about
+// to serve from the new families, and rolling them back would pull the
+// schema out from under live plans — so from Cutover on, faults are
+// still counted but can no longer abort. Once Done or Aborted, the
+// controller is inert.
+type State int
+
+// Live migration states, in transition order.
+const (
+	// StateDualWrite: new families exist and receive forwarded writes,
+	// but backfill has not started. The first Step leaves this state —
+	// it models the settle window in which in-flight writes start
+	// landing on both schemas before historical data moves.
+	StateDualWrite State = iota
+	// StateBackfill: historical records are being copied into the new
+	// families in bounded chunks, interleaved with statement execution.
+	StateBackfill
+	// StateCutover: every record has landed; the next Step asks the
+	// caller to swap its plans atomically onto the new schema.
+	StateCutover
+	// StateDrop: plans are on the new schema; the next Step discards
+	// the superseded families.
+	StateDrop
+	// StateDone: the migration completed.
+	StateDone
+	// StateAborted: the migration rolled back — every family it
+	// created was dropped and the old schema keeps serving.
+	StateAborted
+)
+
+// String names the state for traces and logs.
+func (s State) String() string {
+	switch s {
+	case StateDualWrite:
+		return "dual-write"
+	case StateBackfill:
+		return "backfill"
+	case StateCutover:
+		return "cutover"
+	case StateDrop:
+		return "drop"
+	case StateDone:
+		return "done"
+	case StateAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// ErrAborted reports that a live migration rolled back, either because
+// its fault budget was exceeded or because the caller called Abort.
+var ErrAborted = errors.New("migrate: live migration aborted")
+
+// PutFunc writes one record into a column family on behalf of the
+// backfill and returns the simulated milliseconds the write consumed —
+// including time spent on failed attempts. The harness injects a
+// PutFunc backed by its executor so backfill traffic flows through the
+// same fault injector and retry policy as client statements; migrate
+// cannot import executor directly (executor depends on search, which
+// depends on migrate).
+type PutFunc func(cf string, partition, clustering, values []backend.Value) (float64, error)
+
+// Default live-migration tuning.
+const (
+	// DefaultChunkRecords bounds how many records one Step copies.
+	DefaultChunkRecords = 64
+	// DefaultFaultBudget is how many failed operations (backfill put
+	// failures plus reported dual-write failures) a migration tolerates
+	// before aborting.
+	DefaultFaultBudget = 16
+)
+
+// LiveOptions tunes a live migration. The zero value takes every
+// default.
+type LiveOptions struct {
+	// ChunkRecords bounds the records copied per Step; zero means
+	// DefaultChunkRecords.
+	ChunkRecords int
+	// FaultBudget is the number of failed operations tolerated before
+	// the migration aborts and rolls back. Zero means
+	// DefaultFaultBudget; negative means unlimited.
+	FaultBudget int
+	// Params prices the per-family setup charge. Per-record cost is not
+	// estimated here: every put is charged at the simulated time the
+	// injected PutFunc actually consumed.
+	Params CostParams
+}
+
+func (o LiveOptions) normalized() LiveOptions {
+	if o.ChunkRecords <= 0 {
+		o.ChunkRecords = DefaultChunkRecords
+	}
+	if o.FaultBudget == 0 {
+		o.FaultBudget = DefaultFaultBudget
+	}
+	return o
+}
+
+// liveRecord is one backfill unit, fully materialized so the copy is
+// independent of dataset iteration state.
+type liveRecord struct {
+	cf                            string
+	partition, clustering, values []backend.Value
+}
+
+// StepResult reports what one Step did.
+type StepResult struct {
+	// State is the controller's state after the step.
+	State State
+	// Copied is the number of records that landed this step.
+	Copied int
+	// SimMillis is the simulated time this step consumed (puts,
+	// including failed attempts).
+	SimMillis float64
+	// Transitioned reports that the step changed state.
+	Transitioned bool
+	// Faults is the number of failed operations charged this step,
+	// including external dual-write faults noted since the last step.
+	Faults int
+}
+
+// Progress is a point-in-time view of a live migration.
+type Progress struct {
+	State State
+	// CopiedRecords / TotalRecords measure backfill completion.
+	CopiedRecords, TotalRecords int
+	// Faults is the total failed operations charged against the
+	// budget; Budget is the configured budget (<0 means unlimited).
+	Faults, Budget int
+	// SimMillis is the simulated time consumed so far.
+	SimMillis float64
+	// Paused reports that Step is currently a no-op.
+	Paused bool
+}
+
+// Live is a fault-tolerant, resumable schema migration that runs
+// interleaved with statement execution. Construct it with StartLive —
+// which installs the new (empty) column families and snapshots the
+// backfill work — then call Step repeatedly between batches of
+// statements. Writes executed during the migration must be forwarded
+// to the families named by Building (dual-writes); report forwarding
+// failures with NoteExternalFault so they count against the fault
+// budget.
+//
+// All methods are safe for concurrent use; the deterministic state
+// machine only advances inside Step.
+type Live struct {
+	mu      sync.Mutex
+	state   State
+	paused  bool
+	put     PutFunc
+	store   Store
+	opts    LiveOptions
+	records []liveRecord
+	cursor  int
+	faults  int
+	extern  int
+	created []string
+	drop    []string
+	res     Result
+	err     error
+}
+
+// StartLive begins a live migration: it creates every family in build
+// (empty, ready to receive dual-writes), snapshots the records to
+// backfill from the dataset, and returns a controller in
+// StateDualWrite. If a create fails, families created so far are
+// dropped and the error returned — nothing is left installed. Families
+// in drop are only discarded after cutover.
+func StartLive(ds *backend.Dataset, s Store, build, drop []*schema.Index, put PutFunc, opts LiveOptions) (*Live, error) {
+	l := &Live{
+		state: StateDualWrite,
+		put:   put,
+		store: s,
+		opts:  opts.normalized(),
+	}
+	for _, x := range drop {
+		l.drop = append(l.drop, x.Name)
+	}
+	for _, x := range build {
+		if x.Name == "" {
+			l.rollbackLocked()
+			return nil, fmt.Errorf("migrate: index %s has no name", x)
+		}
+		def := backend.DefFromIndex(x)
+		if err := s.Create(def); err != nil {
+			l.rollbackLocked()
+			return nil, fmt.Errorf("migrate: create %s: %w", x.Name, err)
+		}
+		l.created = append(l.created, def.Name)
+		l.res.SimMillis += l.opts.Params.PerFamilyMillis
+		err := ds.ForEachCombination(x.Path, func(tuple map[string]backend.Value) error {
+			rec := liveRecord{
+				cf:         def.Name,
+				partition:  make([]backend.Value, len(def.PartitionCols)),
+				clustering: make([]backend.Value, len(def.ClusteringCols)),
+				values:     make([]backend.Value, len(def.ValueCols)),
+			}
+			for i, c := range def.PartitionCols {
+				rec.partition[i] = tuple[c]
+			}
+			for i, c := range def.ClusteringCols {
+				rec.clustering[i] = tuple[c]
+			}
+			for i, c := range def.ValueCols {
+				rec.values[i] = tuple[c]
+			}
+			l.records = append(l.records, rec)
+			return nil
+		})
+		if err != nil {
+			l.rollbackLocked()
+			return nil, fmt.Errorf("migrate: snapshot %s: %w", x.Name, err)
+		}
+	}
+	return l, nil
+}
+
+// Building returns the names of the families this migration is
+// materializing; the caller forwards writes to them (dual-writes)
+// until the migration finishes or aborts.
+func (l *Live) Building() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.state == StateDone || l.state == StateAborted {
+		return nil
+	}
+	out := make([]string, len(l.created))
+	copy(out, l.created)
+	return out
+}
+
+// NoteExternalFault charges one failed operation that happened outside
+// Step — a dual-write that exhausted its retries — against the fault
+// budget. The budget is only evaluated at the next Step, so a client
+// statement never observes the abort directly.
+func (l *Live) NoteExternalFault() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.extern++
+}
+
+// Pause makes Step a no-op until Resume; the migration holds its
+// position and dual-writes keep flowing.
+func (l *Live) Pause() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.paused = true
+}
+
+// Resume undoes Pause.
+func (l *Live) Resume() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.paused = false
+}
+
+// Abort rolls the migration back: every family it created is dropped
+// and the state becomes StateAborted. The old schema is untouched and
+// keeps serving. Aborting is a no-op once the migration is finished or
+// past the point of no return (StateCutover onward — the caller may
+// already be serving from the new families).
+func (l *Live) Abort() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.abortLocked()
+}
+
+func (l *Live) abortLocked() {
+	if l.state != StateDualWrite && l.state != StateBackfill {
+		return
+	}
+	l.rollbackLocked()
+	l.state = StateAborted
+	l.err = ErrAborted
+}
+
+// rollbackLocked drops every family this migration created.
+func (l *Live) rollbackLocked() {
+	for _, name := range l.created {
+		l.store.Drop(name)
+	}
+	l.res.Built = nil
+}
+
+// State returns the current state.
+func (l *Live) State() State {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.state
+}
+
+// Progress returns a point-in-time view of the migration.
+func (l *Live) Progress() Progress {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Progress{
+		State:         l.state,
+		CopiedRecords: l.cursor,
+		TotalRecords:  len(l.records),
+		Faults:        l.faults + l.extern,
+		Budget:        l.opts.FaultBudget,
+		SimMillis:     l.res.SimMillis,
+		Paused:        l.paused,
+	}
+}
+
+// Result returns the migration's ledger. Meaningful once the state is
+// StateDone (families built and dropped) or StateAborted (Built empty:
+// the rollback discarded them).
+func (l *Live) Result() Result {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	res := l.res
+	res.Built = append([]string(nil), l.res.Built...)
+	res.Dropped = append([]string(nil), l.res.Dropped...)
+	return res
+}
+
+// Cutover reports whether the controller is waiting for the caller to
+// swap its query plans onto the new schema. The caller performs the
+// atomic swap, then calls Step to move on to dropping the old
+// families.
+func (l *Live) Cutover() bool {
+	return l.State() == StateCutover
+}
+
+// Step advances the migration by one bounded unit of work:
+//
+//   - StateDualWrite: transition to StateBackfill (no records move).
+//   - StateBackfill: copy up to ChunkRecords records through the
+//     injected PutFunc. A failed put charges its simulated time and one
+//     fault, does not advance the cursor (the record retries next
+//     Step), and ends the chunk early.
+//   - StateCutover: transition to StateDrop. The caller must have
+//     performed its atomic plan swap before this Step (see Cutover).
+//   - StateDrop: discard the superseded families, transition to
+//     StateDone.
+//
+// Before any work, external faults reported since the last Step are
+// folded into the fault ledger; if the total exceeds the budget while
+// the migration is still abortable (before StateCutover) it aborts —
+// every created family is dropped, the state becomes StateAborted, and
+// Step returns ErrAborted. Step on a paused,
+// done, or aborted controller is a no-op (an aborted controller keeps
+// returning ErrAborted).
+func (l *Live) Step() (StepResult, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	sr := StepResult{State: l.state}
+	switch l.state {
+	case StateDone:
+		return sr, nil
+	case StateAborted:
+		return sr, ErrAborted
+	}
+	if l.paused {
+		return sr, nil
+	}
+
+	// Fold in dual-write failures and re-check the budget first: a
+	// budget breach aborts before more work is spent. Past backfill the
+	// budget can no longer abort (see State) — faults stay counted but
+	// the migration finishes.
+	sr.Faults += l.extern
+	l.faults += l.extern
+	l.extern = 0
+	if l.overBudgetLocked() && (l.state == StateDualWrite || l.state == StateBackfill) {
+		l.abortLocked()
+		sr.State = l.state
+		sr.Transitioned = true
+		return sr, ErrAborted
+	}
+
+	switch l.state {
+	case StateDualWrite:
+		l.state = StateBackfill
+		sr.Transitioned = true
+	case StateBackfill:
+		for sr.Copied < l.opts.ChunkRecords && l.cursor < len(l.records) {
+			rec := l.records[l.cursor]
+			ms, err := l.put(rec.cf, rec.partition, rec.clustering, rec.values)
+			sr.SimMillis += ms
+			l.res.SimMillis += ms
+			if err != nil {
+				// The cursor stays put: this record is retried by the
+				// next Step, so a record never lands zero times and
+				// the copy is exact-once per family snapshot.
+				l.faults++
+				sr.Faults++
+				if l.overBudgetLocked() {
+					l.abortLocked()
+					sr.State = l.state
+					sr.Transitioned = true
+					return sr, ErrAborted
+				}
+				break
+			}
+			l.cursor++
+			sr.Copied++
+			l.res.Records++
+		}
+		if l.cursor == len(l.records) {
+			l.state = StateCutover
+			sr.Transitioned = true
+		}
+	case StateCutover:
+		l.state = StateDrop
+		sr.Transitioned = true
+	case StateDrop:
+		for _, name := range l.drop {
+			l.store.Drop(name)
+			l.res.Dropped = append(l.res.Dropped, name)
+		}
+		l.res.Built = append([]string(nil), l.created...)
+		l.state = StateDone
+		sr.Transitioned = true
+	}
+	sr.State = l.state
+	return sr, nil
+}
+
+func (l *Live) overBudgetLocked() bool {
+	return l.opts.FaultBudget >= 0 && l.faults > l.opts.FaultBudget
+}

@@ -150,6 +150,14 @@ func Apply(ds *backend.Dataset, s Store, build, drop []*schema.Index, p CostPara
 			return nil
 		})
 		if err != nil {
+			// A failed build must not leave schema debris: drop the
+			// half-built family and everything this migration already
+			// installed, so the caller's schema is exactly what it was
+			// before Apply ran.
+			s.Drop(def.Name)
+			for _, name := range res.Built {
+				s.Drop(name)
+			}
 			return nil, fmt.Errorf("migrate: build %s: %w", x.Name, err)
 		}
 		res.Built = append(res.Built, x.Name)

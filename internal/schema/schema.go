@@ -53,6 +53,45 @@ func (s *Schema) ByName(name string) *Index { return s.byName[name] }
 // index, or nil.
 func (s *Schema) Lookup(x *Index) *Index { return s.byID[x.ID()] }
 
+// AlignTo renames this schema's indexes so they can be installed next
+// to prev's. Index names are assigned per advise run ("cfN" in pool
+// order), so two independent runs reuse the same names for structurally
+// different indexes; migrating one schema onto a system serving the
+// other would then write rows of the wrong shape into an installed
+// family. AlignTo restores the invariant that a name means one
+// structure: indexes with a structural twin in prev adopt the twin's
+// installed name, and fresh indexes whose names are already taken by a
+// different structure in prev are renamed with a deterministic "_mN"
+// suffix. Renaming mutates the Index objects in place, so every plan
+// referencing them stays consistent.
+func (s *Schema) AlignTo(prev *Schema) {
+	taken := make(map[string]bool, len(prev.indexes))
+	for _, x := range prev.indexes {
+		taken[x.Name] = true
+	}
+	used := make(map[string]bool, len(s.indexes))
+	for _, x := range s.indexes {
+		if p := prev.byID[x.ID()]; p != nil {
+			x.Name = p.Name
+			used[x.Name] = true
+		}
+	}
+	for _, x := range s.indexes {
+		if prev.byID[x.ID()] != nil {
+			continue
+		}
+		base := x.Name
+		for n := 2; taken[x.Name] || used[x.Name]; n++ {
+			x.Name = fmt.Sprintf("%s_m%d", base, n)
+		}
+		used[x.Name] = true
+	}
+	s.byName = make(map[string]*Index, len(s.indexes))
+	for _, x := range s.indexes {
+		s.byName[x.Name] = x
+	}
+}
+
 // TotalSizeBytes estimates the aggregate storage footprint.
 func (s *Schema) TotalSizeBytes() float64 {
 	total := 0.0
