@@ -244,6 +244,33 @@ func BenchmarkAdvisorSolve(b *testing.B) {
 	}
 }
 
+// BenchmarkAdvisorLargeRandwork stresses the solver on a synthetic
+// workload several times larger than RUBiS (~150 statements at Factor
+// 6): planning and formulation run once outside the timer, each
+// iteration re-runs the two BIP solve phases.
+func BenchmarkAdvisorLargeRandwork(b *testing.B) {
+	w, err := randwork.Generate(randwork.Config{Factor: 6, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	enumRes, err := enumerator.EnumerateWorkload(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := benchAdvisorOptions()
+	opt.Workers = 1
+	prepared, err := search.Prepare(w, enumRes, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := prepared.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAdvisorWorkers runs the full advisor end to end across
 // worker counts (the tentpole before/after comparison; see
 // EXPERIMENTS.md).

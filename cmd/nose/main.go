@@ -56,6 +56,7 @@ func main() {
 	rf := flag.Int("rf", 0, "with -faults: also print node-failure tolerance for a replicated deployment at this replication factor")
 	verbose := flag.Bool("v", false, "print update maintenance plans and timings")
 	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot of the advisor run to this file and print a summary")
+	solverStats := flag.Bool("solver-stats", false, "print LP solver statistics after the run: solves, warm-start hit rate, pivots, refactorizations, pruning and cuts")
 	tracePath := flag.String("trace", "", "write a Chrome trace (chrome://tracing, Perfetto) of the advisor stages to this file")
 	flag.Parse()
 
@@ -76,7 +77,7 @@ func main() {
 	}
 
 	var reg *obs.Registry
-	if *metricsPath != "" {
+	if *metricsPath != "" || *solverStats {
 		reg = obs.NewRegistry()
 	}
 	var tracer *obs.Tracer
@@ -107,7 +108,7 @@ func main() {
 			fmt.Printf("Problem: %d candidates, %d plan variables, %d constraints, %d nodes\n",
 				series.Stats.Candidates, series.Stats.PlanVariables, series.Stats.Constraints, series.Stats.Nodes)
 		}
-		writeObservability(*metricsPath, reg, *tracePath, tracer)
+		writeObservability(*metricsPath, reg, *tracePath, tracer, *solverStats)
 		return
 	}
 
@@ -169,7 +170,7 @@ func main() {
 			rec.Stats.Candidates, rec.Stats.PlanVariables, rec.Stats.Constraints, rec.Stats.Nodes)
 	}
 
-	writeObservability(*metricsPath, reg, *tracePath, tracer)
+	writeObservability(*metricsPath, reg, *tracePath, tracer, *solverStats)
 }
 
 // printDriftReport advises each declared mix and reports, against the
@@ -216,18 +217,24 @@ func mixWeights(w *workload.Workload, mix string) map[string]float64 {
 }
 
 // writeObservability flushes the run's metrics snapshot and Chrome
-// trace to their files and prints the human-readable metrics summary.
-func writeObservability(metricsPath string, reg *obs.Registry, tracePath string, tracer *obs.Tracer) {
+// trace to their files and prints the human-readable metrics summary
+// and, with -solver-stats, the LP solver statistics block.
+func writeObservability(metricsPath string, reg *obs.Registry, tracePath string, tracer *obs.Tracer, solverStats bool) {
 	if reg != nil {
 		snap := reg.Snapshot()
-		data, err := snap.WriteJSON()
-		if err != nil {
-			fatal(err)
+		if solverStats {
+			fmt.Printf("\n%s", snap.FormatSolverStats())
 		}
-		if err := os.WriteFile(metricsPath, data, 0o644); err != nil {
-			fatal(err)
+		if metricsPath != "" {
+			data, err := snap.WriteJSON()
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(metricsPath, data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\nMetrics (written to %s):\n%s", metricsPath, snap.Format())
 		}
-		fmt.Printf("\nMetrics (written to %s):\n%s", metricsPath, snap.Format())
 	}
 	if tracer != nil {
 		f, err := os.Create(tracePath)

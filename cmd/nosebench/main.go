@@ -74,6 +74,7 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot to this file and print a summary on exit")
+	solverStats := flag.Bool("solver-stats", false, "print LP solver statistics on exit: solves, warm-start hit rate, pivots, refactorizations, pruning and cuts")
 	tracePath := flag.String("trace", "", "write a Chrome trace (chrome://tracing, Perfetto) of the run to this file")
 	flag.Parse()
 
@@ -103,14 +104,14 @@ func main() {
 	}
 
 	var reg *obs.Registry
-	if *metricsPath != "" {
+	if *metricsPath != "" || *solverStats {
 		reg = obs.NewRegistry()
 	}
 	var tracer *obs.Tracer
 	if *tracePath != "" {
 		tracer = obs.NewTracer()
 	}
-	defer writeObservability(*metricsPath, reg, *tracePath, tracer)
+	defer writeObservability(*metricsPath, reg, *tracePath, tracer, *solverStats)
 
 	opts := search.Options{
 		Workers:          *workers,
@@ -265,18 +266,24 @@ func parseRates(s string) ([]float64, error) {
 }
 
 // writeObservability flushes the run's metrics snapshot and Chrome
-// trace to their files and prints the human-readable metrics summary.
-func writeObservability(metricsPath string, reg *obs.Registry, tracePath string, tracer *obs.Tracer) {
+// trace to their files and prints the human-readable metrics summary
+// and, with -solver-stats, the LP solver statistics block.
+func writeObservability(metricsPath string, reg *obs.Registry, tracePath string, tracer *obs.Tracer, solverStats bool) {
 	if reg != nil {
 		snap := reg.Snapshot()
-		data, err := snap.WriteJSON()
-		if err != nil {
-			fatal(err)
+		if solverStats {
+			fmt.Printf("\n%s", snap.FormatSolverStats())
 		}
-		if err := os.WriteFile(metricsPath, data, 0o644); err != nil {
-			fatal(err)
+		if metricsPath != "" {
+			data, err := snap.WriteJSON()
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(metricsPath, data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\nMetrics (written to %s):\n%s", metricsPath, snap.Format())
 		}
-		fmt.Printf("\nMetrics (written to %s):\n%s", metricsPath, snap.Format())
 	}
 	if tracer != nil {
 		f, err := os.Create(tracePath)

@@ -3,9 +3,18 @@
 // best-first branch and bound over LP relaxations (solved by
 // internal/lp), with a rounding heuristic to find incumbents early and
 // most-fractional branching. Relaxations are solved by a pool of
-// workers over fixed-width node batches, so the search scales with
-// cores while its trajectory — and therefore the returned solution —
-// stays bit-identical for every worker count.
+// workers over node batches whose width ramps deterministically with
+// the round number, so the search scales with cores while its
+// trajectory — and therefore the returned solution — stays
+// bit-identical for every worker count.
+//
+// Every expanded node snapshots its relaxation's optimal basis, and
+// both children re-solve from it with the dual simplex
+// (lp.Solver.SolveFrom): a child differs from its parent by one bound
+// fix, so re-optimization typically takes a handful of pivots instead
+// of a full two-phase solve. Because a warm-started solve is a pure
+// function of (problem, fixes, parent basis), the speedup does not
+// disturb worker-count invariance.
 //
 // NoSE's schema optimizer (paper §V) formulates column family selection
 // as such a program; the paper hands it to Gurobi, whose parallel
@@ -14,7 +23,6 @@
 package bip
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -120,12 +128,25 @@ type Options struct {
 // DefaultMaxNodes bounds the search when Options leaves MaxNodes zero.
 const DefaultMaxNodes = 50_000
 
-// batchWidth is the number of nodes popped per expansion round. It is a
-// constant — never derived from Options.Workers — because the batch
-// composition determines the search trajectory: a fixed width is what
-// makes results worker-count invariant. Workers beyond batchWidth can
-// do no useful work and are capped.
+// batchWidth caps the number of nodes popped per expansion round.
+// Workers beyond batchWidth can do no useful work and are capped.
 const batchWidth = 16
+
+// batchWidthFor returns the node batch width for expansion round k:
+// 2, 4, 8, then batchWidth from round 3 on. Early rounds use narrow
+// batches — warm-started child solves make nodes cheap, and keeping the
+// frontier close to best-first while bounds are still weak avoids
+// expanding nodes a better incumbent would soon have pruned. The ramp
+// depends only on the round number — never on Options.Workers — because
+// the batch composition determines the search trajectory: deriving it
+// from anything scheduling-dependent would break worker-count
+// invariance.
+func batchWidthFor(round int) int {
+	if round < 3 {
+		return 2 << uint(round)
+	}
+	return batchWidth
+}
 
 // Result is the outcome of an integer solve.
 type Result struct {
@@ -155,25 +176,59 @@ type node struct {
 	bound float64
 	seq   int // creation order, the deterministic heap tie-break
 	fixes []fix
+	basis *lp.Basis // parent relaxation's optimal basis; nil → cold solve
 }
 
-type nodeHeap []*node
+// nodeHeap is a hand-rolled binary min-heap ordered by (bound, seq). A
+// typed heap avoids container/heap's interface{} boxing, which
+// allocated on every push and pop of the search hot path.
+type nodeHeap struct{ ns []*node }
 
-func (h nodeHeap) Len() int { return len(h) }
-func (h nodeHeap) Less(i, j int) bool {
-	if h[i].bound != h[j].bound {
-		return h[i].bound < h[j].bound
+func (h *nodeHeap) len() int { return len(h.ns) }
+
+func (h *nodeHeap) less(i, j int) bool {
+	a, b := h.ns[i], h.ns[j]
+	if a.bound != b.bound {
+		return a.bound < b.bound
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
-func (h *nodeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h *nodeHeap) push(n *node) {
+	h.ns = append(h.ns, n)
+	i := len(h.ns) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.ns[i], h.ns[parent] = h.ns[parent], h.ns[i]
+		i = parent
+	}
+}
+
+func (h *nodeHeap) pop() *node {
+	top := h.ns[0]
+	last := len(h.ns) - 1
+	h.ns[0] = h.ns[last]
+	h.ns[last] = nil
+	h.ns = h.ns[:last]
+	i := 0
+	for {
+		l, r, small := 2*i+1, 2*i+2, i
+		if l < len(h.ns) && h.less(l, small) {
+			small = l
+		}
+		if r < len(h.ns) && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.ns[i], h.ns[small] = h.ns[small], h.ns[i]
+		i = small
+	}
+	return top
 }
 
 // Solve runs branch and bound and returns the best integer solution.
@@ -213,6 +268,9 @@ func (p *Program) Solve(opt Options) (*Result, error) {
 		opt.Obs.Counter("lp.pivots").Add(total.Pivots)
 		opt.Obs.Counter("lp.degenerate_pivots").Add(total.DegeneratePivots)
 		opt.Obs.Counter("lp.refactors").Add(total.Refactors)
+		opt.Obs.Counter("lp.warm_starts").Add(total.WarmStarts)
+		opt.Obs.Counter("lp.dual_pivots").Add(total.DualPivots)
+		opt.Obs.Counter("lp.warm_fallbacks").Add(total.Fallbacks)
 	}()
 	nodesC := opt.Obs.Counter("bip.nodes")
 	batchesC := opt.Obs.Counter("bip.batches")
@@ -232,13 +290,20 @@ func (p *Program) Solve(opt Options) (*Result, error) {
 	}
 
 	// solveWith applies fixes on the worker's clone, solves the
-	// relaxation, and reverts.
-	solveWith := func(w int, fixes []fix) (*lp.Solution, error) {
+	// relaxation — warm-started from a parent basis when one is given —
+	// and reverts.
+	solveWith := func(w int, fixes []fix, from *lp.Basis) (*lp.Solution, error) {
 		prob := probs[w]
 		for _, f := range fixes {
 			prob.SetColBounds(f.col, f.val, f.val)
 		}
-		sol, err := solvers[w].Solve(prob)
+		var sol *lp.Solution
+		var err error
+		if from != nil {
+			sol, err = solvers[w].SolveFrom(prob, from)
+		} else {
+			sol, err = solvers[w].Solve(prob)
+		}
 		for _, f := range fixes {
 			prob.SetColBounds(f.col, 0, 1)
 		}
@@ -247,7 +312,7 @@ func (p *Program) Solve(opt Options) (*Result, error) {
 
 	// roundAndRepair rounds fractional binaries and re-solves with all
 	// of them fixed; a feasible result becomes an incumbent.
-	roundAndRepair := func(x []float64, fixes []fix) error {
+	roundAndRepair := func(x []float64, fixes []fix, from *lp.Basis) error {
 		rounded := make([]fix, 0, len(p.binary))
 		rounded = append(rounded, fixes...)
 		fixed := map[int]bool{}
@@ -264,7 +329,10 @@ func (p *Program) Solve(opt Options) (*Result, error) {
 			}
 			rounded = append(rounded, fix{col: col, val: v})
 		}
-		sol, err := solveWith(0, rounded)
+		// The parent basis stays dual feasible under any set of bound
+		// fixes, so even this all-binaries-fixed repair solve can
+		// warm-start.
+		sol, err := solveWith(0, rounded, from)
 		if err != nil {
 			return err
 		}
@@ -275,11 +343,10 @@ func (p *Program) Solve(opt Options) (*Result, error) {
 	}
 
 	open := &nodeHeap{}
-	heap.Init(open)
 	seq := 0
-	push := func(bound float64, fixes []fix) {
+	push := func(bound float64, fixes []fix, from *lp.Basis) {
 		seq++
-		heap.Push(open, &node{bound: bound, seq: seq, fixes: fixes})
+		open.push(&node{bound: bound, seq: seq, fixes: fixes, basis: from})
 	}
 
 	// Validate and adopt the seeded incumbent, if any.
@@ -292,7 +359,7 @@ func (p *Program) Solve(opt Options) (*Result, error) {
 			}
 			fixes = append(fixes, fix{col: col, val: v})
 		}
-		sol, err := solveWith(0, fixes)
+		sol, err := solveWith(0, fixes, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -301,7 +368,7 @@ func (p *Program) Solve(opt Options) (*Result, error) {
 		}
 	}
 
-	rootSol, err := solveWith(0, nil)
+	rootSol, err := solveWith(0, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -316,32 +383,38 @@ func (p *Program) Solve(opt Options) (*Result, error) {
 	if col := p.mostFractional(rootSol.X, nil); col == -1 {
 		tryIncumbent(rootSol.X, rootSol.Objective)
 	} else {
-		if err := roundAndRepair(rootSol.X, nil); err != nil {
+		rootBasis := solvers[0].Snapshot()
+		if err := roundAndRepair(rootSol.X, nil, rootBasis); err != nil {
 			return nil, err
 		}
-		push(rootSol.Objective, nil)
+		push(rootSol.Objective, nil, rootBasis)
 	}
 
-	// Expansion rounds: pop up to batchWidth admissible nodes, solve
-	// their relaxations in parallel, then branch in batch order. The
-	// incumbent is read during batch formation and updated only in the
-	// (sequential, deterministic) branching pass.
+	// Expansion rounds: pop up to batchWidthFor(round) admissible
+	// nodes, solve their relaxations in parallel, then branch in batch
+	// order. The incumbent is read during batch formation and updated
+	// only in the (sequential, deterministic) branching pass. Each
+	// optimal relaxation's basis is snapshotted inside the parallel
+	// section — the worker's solver state is overwritten by its next
+	// node — and handed to both children as their warm-start point.
 	type batchItem struct {
-		nd  *node
-		num int // this node's 1-based exploration number
-		sol *lp.Solution
-		err error
+		nd   *node
+		num  int // this node's 1-based exploration number
+		sol  *lp.Solution
+		snap *lp.Basis
+		err  error
 	}
 	batch := make([]batchItem, 0, batchWidth)
 
-	for open.Len() > 0 {
+	for round := 0; open.len() > 0; round++ {
 		if res.Nodes >= maxNodes {
 			res.Status = NodeLimit
 			break
 		}
+		width := batchWidthFor(round)
 		batch = batch[:0]
-		for open.Len() > 0 && len(batch) < batchWidth && res.Nodes < maxNodes {
-			nd := heap.Pop(open).(*node)
+		for open.len() > 0 && len(batch) < width && res.Nodes < maxNodes {
+			nd := open.pop()
 			if nd.bound >= incumbent-gapSlack(opt.Gap, incumbent) {
 				prunedC.Inc()
 				continue // bound-dominated
@@ -356,7 +429,11 @@ func (p *Program) Solve(opt Options) (*Result, error) {
 		batchesC.Inc()
 
 		par.DoWorker(len(batch), workers, func(w, i int) {
-			batch[i].sol, batch[i].err = solveWith(w, batch[i].nd.fixes)
+			it := &batch[i]
+			it.sol, it.err = solveWith(w, it.nd.fixes, it.nd.basis)
+			if it.err == nil && it.sol.Status == lp.Optimal {
+				it.snap = solvers[w].Snapshot()
+			}
 		})
 
 		for i := range batch {
@@ -378,12 +455,12 @@ func (p *Program) Solve(opt Options) (*Result, error) {
 				continue
 			}
 			if it.num%16 == 1 {
-				if err := roundAndRepair(sol.X, it.nd.fixes); err != nil {
+				if err := roundAndRepair(sol.X, it.nd.fixes, it.snap); err != nil {
 					return nil, err
 				}
 			}
 			for _, v := range [2]float64{1, 0} {
-				push(sol.Objective, append(append([]fix(nil), it.nd.fixes...), fix{col: col, val: v}))
+				push(sol.Objective, append(append([]fix(nil), it.nd.fixes...), fix{col: col, val: v}), it.snap)
 			}
 		}
 	}

@@ -64,6 +64,54 @@ func BenchmarkSimplexFresh(b *testing.B) {
 	}
 }
 
+// BenchmarkSimplexWarmStart measures a branch-and-bound-shaped child
+// solve: fix one column of an already-solved problem and re-solve from
+// the parent's basis snapshot, against BenchmarkSimplexCold's full
+// two-phase solve of the identical child problem.
+func BenchmarkSimplexWarmStart(b *testing.B) {
+	p := benchProblem(24, 6, rand.New(rand.NewSource(7)))
+	s := lp.NewSolver()
+	if _, err := s.Solve(p); err != nil {
+		b.Fatal(err)
+	}
+	snap := s.Snapshot()
+	p.SetColBounds(5, 1, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := s.SolveFrom(p, snap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Status != lp.Optimal {
+			b.Fatalf("status %v", sol.Status)
+		}
+	}
+}
+
+// BenchmarkSimplexCold is the cold-solve baseline for
+// BenchmarkSimplexWarmStart: the same child problem solved from
+// scratch.
+func BenchmarkSimplexCold(b *testing.B) {
+	p := benchProblem(24, 6, rand.New(rand.NewSource(7)))
+	s := lp.NewSolver()
+	if _, err := s.Solve(p); err != nil {
+		b.Fatal(err)
+	}
+	p.SetColBounds(5, 1, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := s.Solve(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Status != lp.Optimal {
+			b.Fatalf("status %v", sol.Status)
+		}
+	}
+}
+
 // TestSolverReuseMatchesFresh solves a sequence of differently-shaped
 // random problems with one reused Solver and compares every result
 // against a fresh per-problem solve.

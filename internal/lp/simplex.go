@@ -10,12 +10,18 @@ const (
 	tol = 1e-7
 	// feasTol is the bound-violation tolerance.
 	feasTol = 1e-7
-	// refactorEvery bounds the number of in-place basis inverse
-	// updates between full refactorizations.
-	refactorEvery = 400
+	// refactorEvery bounds the number of eta-file updates between full
+	// basis refactorizations.
+	refactorEvery = 100
 	// blandAfter is the number of consecutive degenerate pivots after
 	// which pricing switches to Bland's rule to guarantee termination.
 	blandAfter = 60
+	// etaDropTol drops near-zero fill when recording an eta column;
+	// periodic refactorization bounds the resulting drift.
+	etaDropTol = 1e-12
+	// pivTol is the smallest pivot magnitude accepted during
+	// refactorization and dual simplex steps.
+	pivTol = 1e-11
 )
 
 type varStatus int8
@@ -28,9 +34,18 @@ const (
 
 // Solver runs two-phase bounded revised simplex solves, retaining every
 // scratch buffer between calls: branch and bound (internal/bip) solves
-// thousands of same-shaped relaxations, and reusing the tableau storage
-// removes all per-solve and per-iteration allocation from that hot
-// path. A Solver is not safe for concurrent use; create one per worker
+// thousands of same-shaped relaxations, and reusing the storage removes
+// all per-solve and per-iteration allocation from that hot path.
+//
+// The basis inverse is kept in product form as an eta file — a sequence
+// of Gauss-Jordan elimination columns — rather than as a dense matrix.
+// Applying B⁻¹ (ftran) or its transpose (btran) costs O(nnz of the eta
+// file), which for the advisor's sparse ±1 constraint matrices is near
+// linear in m instead of the dense O(m²) per iteration. The file is
+// rebuilt from the basis columns (refactor) on a fixed cadence and
+// whenever update fill grows past a budget.
+//
+// A Solver is not safe for concurrent use; create one per worker
 // goroutine.
 type Solver struct {
 	m int // rows
@@ -44,23 +59,38 @@ type Solver struct {
 	status []varStatus
 	xval   []float64 // current value per variable (nonbasic: at bound)
 
-	basis []int       // variable basic at each row position
-	binv  [][]float64 // dense basis inverse (rows backed by invData)
-	xb    []float64   // basic variable values by row position
+	basis []int     // variable basic at each row position
+	xb    []float64 // basic variable values by row position
 
-	// invData double-buffers the basis inverse storage: refactorization
-	// rebuilds into the inactive buffer and swaps.
-	invData [2][]float64
-	invRows [2][][]float64
-	invCur  int
-	bData   []float64 // basis matrix scratch for refactorization
-	bRows   [][]float64
+	// Eta file: eta k transforms a vector by x[r] /= piv followed by
+	// x[i] -= val*x[r] for each off-pivot nonzero (i, val). Stored as
+	// parallel arrays with CSR-style offsets into etaIdx/etaVal.
+	etaRow   []int32
+	etaPiv   []float64
+	etaStart []int32
+	etaIdx   []int32
+	etaVal   []float64
+	updates  int // etas appended since the last refactorization
+	updNNZ   int // off-pivot nonzeros appended since then
+	fillMax  int // update fill budget before a forced refactorization
 
 	single []Entry // backing for slack/artificial single-entry columns
 
 	y, w, res []float64 // per-iteration multiplier/direction/residual scratch
+	rho       []float64 // dual simplex row scratch
 	phase1    []float64
 	isBasic   []bool
+
+	// Refactorization scratch.
+	rowStart []int32 // CSR row → basis-position adjacency
+	rowPos   []int32
+	rowFill  []int32
+	colCnt   []int32 // unpivoted-row counts per basis position
+	posRow   []int32 // pivot row assigned to each basis position
+	colDone  []bool
+	pivoted  []bool
+	queue    []int32
+	newBasis []int
 
 	pivots   int
 	degens   int
@@ -69,28 +99,40 @@ type Solver struct {
 	stats SolverStats
 }
 
-// SolverStats accumulates work counters across every Solve call on one
+// SolverStats accumulates work counters across every solve call on one
 // Solver. All counts are pure functions of the problems solved, so
 // summing them across per-worker solvers yields the same totals at any
 // worker count.
 type SolverStats struct {
-	// Solves is the number of Solve calls.
+	// Solves is the number of solve requests (Solve and SolveFrom).
 	Solves int64
-	// Pivots is the total number of simplex pivots.
+	// Pivots is the total number of simplex pivots, primal and dual.
 	Pivots int64
 	// DegeneratePivots counts pivots with (near-)zero step length.
 	DegeneratePivots int64
-	// Refactors counts full basis-inverse refactorizations.
+	// Refactors counts eta-file rebuilds from the basis columns,
+	// including the initial basis load of each solve.
 	Refactors int64
+	// WarmStarts counts SolveFrom calls that completed on the
+	// warm-started dual simplex path.
+	WarmStarts int64
+	// DualPivots counts pivots taken by the dual simplex.
+	DualPivots int64
+	// Fallbacks counts SolveFrom calls that abandoned the warm start
+	// (unusable snapshot or numerical trouble) and re-solved cold.
+	Fallbacks int64
 }
 
-// add accumulates another stats value, for aggregating per-worker
+// Add accumulates another stats value, for aggregating per-worker
 // solvers.
 func (s *SolverStats) Add(o SolverStats) {
 	s.Solves += o.Solves
 	s.Pivots += o.Pivots
 	s.DegeneratePivots += o.DegeneratePivots
 	s.Refactors += o.Refactors
+	s.WarmStarts += o.WarmStarts
+	s.DualPivots += o.DualPivots
+	s.Fallbacks += o.Fallbacks
 }
 
 // Stats returns the cumulative work counters for this solver.
@@ -119,6 +161,19 @@ func growF(s []float64, n int) []float64 {
 	return s
 }
 
+// growI32 returns s resized to n, zeroed, reusing capacity when
+// possible.
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
 // prepare sizes and initializes the solver's state for one problem.
 func (s *Solver) prepare(p *Problem) {
 	m, n := len(p.rows), len(p.cols)
@@ -132,6 +187,7 @@ func (s *Solver) prepare(p *Problem) {
 	s.y = growF(s.y, m)
 	s.w = growF(s.w, m)
 	s.res = growF(s.res, m)
+	s.rho = growF(s.rho, m)
 	s.phase1 = growF(s.phase1, total)
 	if cap(s.entries) < total {
 		s.entries = make([][]Entry, total)
@@ -148,8 +204,10 @@ func (s *Solver) prepare(p *Problem) {
 	}
 	if cap(s.basis) < m {
 		s.basis = make([]int, m)
+		s.newBasis = make([]int, m)
 	} else {
 		s.basis = s.basis[:m]
+		s.newBasis = s.newBasis[:m]
 	}
 	if cap(s.isBasic) < total {
 		s.isBasic = make([]bool, total)
@@ -161,23 +219,83 @@ func (s *Solver) prepare(p *Problem) {
 	} else {
 		s.single = s.single[:2*m]
 	}
-	for buf := 0; buf < 2; buf++ {
-		s.invData[buf] = growF(s.invData[buf], m*m)
-		if cap(s.invRows[buf]) < m {
-			s.invRows[buf] = make([][]float64, m)
-		} else {
-			s.invRows[buf] = s.invRows[buf][:m]
-		}
-	}
-	s.bData = growF(s.bData, m*m)
-	if cap(s.bRows) < m {
-		s.bRows = make([][]float64, m)
+	s.rowStart = growI32(s.rowStart, m+1)
+	s.rowFill = growI32(s.rowFill, m)
+	s.colCnt = growI32(s.colCnt, m)
+	s.posRow = growI32(s.posRow, m)
+	if cap(s.colDone) < m {
+		s.colDone = make([]bool, m)
+		s.pivoted = make([]bool, m)
 	} else {
-		s.bRows = s.bRows[:m]
+		s.colDone = s.colDone[:m]
+		s.pivoted = s.pivoted[:m]
 	}
-	s.invCur = 0
+	s.etaRow = s.etaRow[:0]
+	s.etaPiv = s.etaPiv[:0]
+	s.etaIdx = s.etaIdx[:0]
+	s.etaVal = s.etaVal[:0]
+	s.etaStart = append(s.etaStart[:0], 0)
+	s.updates, s.updNNZ = 0, 0
+	s.fillMax = 16*m + 2048
 	s.pivots, s.degens = 0, 0
 	s.maxIters = 2000 + 40*(m+n)
+}
+
+// ftran applies B⁻¹ in place: each eta divides the pivot component and
+// subtracts the scaled off-pivot column. Etas whose pivot component is
+// exactly zero are skipped, which keeps the cost proportional to the
+// vector's fill rather than the file size.
+func (s *Solver) ftran(x []float64) {
+	etaRow, etaPiv, etaStart := s.etaRow, s.etaPiv, s.etaStart
+	etaIdx, etaVal := s.etaIdx, s.etaVal
+	for k := 0; k < len(etaRow); k++ {
+		r := etaRow[k]
+		xr := x[r]
+		if xr == 0 {
+			continue
+		}
+		xr /= etaPiv[k]
+		x[r] = xr
+		for t := etaStart[k]; t < etaStart[k+1]; t++ {
+			x[etaIdx[t]] -= etaVal[t] * xr
+		}
+	}
+}
+
+// btran applies (B⁻¹)ᵀ in place by running the eta file backwards; each
+// eta only changes the pivot component: y[r] = (y[r] - Σ val·y[i]) / piv.
+func (s *Solver) btran(y []float64) {
+	etaRow, etaPiv, etaStart := s.etaRow, s.etaPiv, s.etaStart
+	etaIdx, etaVal := s.etaIdx, s.etaVal
+	for k := len(etaRow) - 1; k >= 0; k-- {
+		dot := 0.0
+		for t := etaStart[k]; t < etaStart[k+1]; t++ {
+			dot += etaVal[t] * y[etaIdx[t]]
+		}
+		r := etaRow[k]
+		y[r] = (y[r] - dot) / etaPiv[k]
+	}
+}
+
+// appendEta records the transformed column w with pivot row r as a new
+// eta, dropping near-zero fill, and returns the off-pivot nonzero count.
+func (s *Solver) appendEta(w []float64, r int) int {
+	s.etaRow = append(s.etaRow, int32(r))
+	s.etaPiv = append(s.etaPiv, w[r])
+	nnz := 0
+	for i, v := range w {
+		if i == r || v == 0 {
+			continue
+		}
+		if v < etaDropTol && v > -etaDropTol {
+			continue
+		}
+		s.etaIdx = append(s.etaIdx, int32(i))
+		s.etaVal = append(s.etaVal, v)
+		nnz++
+	}
+	s.etaStart = append(s.etaStart, int32(len(s.etaIdx)))
+	return nnz
 }
 
 // Solve runs the two-phase bounded revised simplex method on p, reusing
@@ -187,6 +305,12 @@ func (s *Solver) Solve(p *Problem) (*Solution, error) {
 		return nil, err
 	}
 	s.stats.Solves++
+	return s.solveCold(p)
+}
+
+// solveCold runs the standard two-phase solve from the all-artificial
+// starting basis.
+func (s *Solver) solveCold(p *Problem) (*Solution, error) {
 	s.prepare(p)
 	m, n := s.m, s.n
 
@@ -207,8 +331,9 @@ func (s *Solver) Solve(p *Problem) (*Solution, error) {
 		s.status[j], s.xval[j] = startBound(s.lo[j], s.hi[j])
 	}
 
-	// Residuals determine the artificial columns' signs and starting
-	// values: artificial i has column sign_i * e_i and value |res_i|.
+	// Residuals determine the artificial columns' signs: artificial i
+	// has column sign_i * e_i so that it starts at the nonnegative
+	// value |res_i|.
 	res := s.res
 	for j := 0; j < n+m; j++ {
 		if s.xval[j] == 0 {
@@ -218,7 +343,6 @@ func (s *Solver) Solve(p *Problem) (*Solution, error) {
 			res[e.Row] += e.Coef * s.xval[j]
 		}
 	}
-	binv := s.invRows[s.invCur]
 	for i := 0; i < m; i++ {
 		j := n + m + i
 		sign := 1.0
@@ -230,16 +354,13 @@ func (s *Solver) Solve(p *Problem) (*Solution, error) {
 		s.lo[j], s.hi[j] = 0, math.Inf(1)
 		s.status[j] = basic
 		s.basis[i] = j
-		s.xb[i] = math.Abs(res[i])
-		s.xval[j] = s.xb[i]
-		row := s.invData[s.invCur][i*m : (i+1)*m]
-		for k := range row {
-			row[k] = 0
-		}
-		row[i] = sign
-		binv[i] = row
+		res[i] = 0
 	}
-	s.binv = binv
+	// The all-artificial basis refactors into m trivial singleton etas
+	// and recomputes xb, sharing the general load path.
+	if !s.refactor() {
+		return &Solution{Status: IterationLimit}, nil
+	}
 
 	// Phase 1: minimize the sum of artificial variables.
 	phase1 := s.phase1
@@ -275,9 +396,13 @@ func (s *Solver) Solve(p *Problem) (*Solution, error) {
 	case IterationLimit:
 		return &Solution{Status: IterationLimit}, nil
 	}
+	return s.extract(p), nil
+}
 
-	sol := &Solution{Status: Optimal, X: make([]float64, n)}
-	for j := 0; j < n; j++ {
+// extract reads the optimal point back out of the solver state.
+func (s *Solver) extract(p *Problem) *Solution {
+	sol := &Solution{Status: Optimal, X: make([]float64, s.n)}
+	for j := 0; j < s.n; j++ {
 		v := s.xval[j]
 		// Clamp tiny numerical noise back into bounds.
 		if v < s.lo[j] {
@@ -289,7 +414,7 @@ func (s *Solver) Solve(p *Problem) (*Solution, error) {
 		sol.X[j] = v
 		sol.Objective += p.cols[j].obj * v
 	}
-	return sol, nil
+	return sol
 }
 
 // startBound picks the starting bound for a nonbasic variable.
@@ -327,21 +452,15 @@ func (s *Solver) iterate(c []float64) Status {
 			return IterationLimit
 		}
 
-		// Simplex multipliers y = c_B · B⁻¹.
+		// Simplex multipliers y = c_B · B⁻¹, via one btran.
 		y := s.y
 		for k := range y {
 			y[k] = 0
 		}
 		for i := 0; i < s.m; i++ {
-			cb := c[s.basis[i]]
-			if cb == 0 {
-				continue
-			}
-			row := s.binv[i]
-			for k := 0; k < s.m; k++ {
-				y[k] += cb * row[k]
-			}
+			y[i] = c[s.basis[i]]
 		}
+		s.btran(y)
 
 		// Pricing: choose the entering variable.
 		entering := -1
@@ -381,17 +500,15 @@ func (s *Solver) iterate(c []float64) Status {
 			return Optimal
 		}
 
-		// Direction w = B⁻¹ A_entering.
+		// Direction w = B⁻¹ A_entering, via one ftran.
 		w := s.w
 		for k := range w {
 			w[k] = 0
 		}
 		for _, e := range s.entries[entering] {
-			coef := e.Coef
-			for i := 0; i < s.m; i++ {
-				w[i] += s.binv[i][e.Row] * coef
-			}
+			w[e.Row] += e.Coef
 		}
+		s.ftran(w)
 
 		// Ratio test: the entering variable moves by t ≥ 0 in
 		// direction enterDir; basic variable i changes at rate
@@ -440,9 +557,14 @@ func (s *Solver) iterate(c []float64) Status {
 
 		// Move the entering variable and update basic values.
 		newEnterVal := s.xval[entering] + enterDir*tMax
-		for i := 0; i < s.m; i++ {
-			s.xb[i] -= enterDir * tMax * w[i]
-			s.xval[s.basis[i]] = s.xb[i]
+		if tMax != 0 {
+			for i := 0; i < s.m; i++ {
+				if w[i] == 0 {
+					continue
+				}
+				s.xb[i] -= enterDir * tMax * w[i]
+				s.xval[s.basis[i]] = s.xb[i]
+			}
 		}
 
 		if leaving == -1 {
@@ -457,7 +579,8 @@ func (s *Solver) iterate(c []float64) Status {
 			continue
 		}
 
-		// Pivot: replace basis[leaving] with the entering variable.
+		// Pivot: replace basis[leaving] with the entering variable and
+		// append the eta recording this basis change.
 		out := s.basis[leaving]
 		s.status[out] = leaveAt
 		if leaveAt == atUpper {
@@ -465,23 +588,8 @@ func (s *Solver) iterate(c []float64) Status {
 		} else {
 			s.xval[out] = s.lo[out]
 		}
-
-		pivot := w[leaving]
-		prow := s.binv[leaving]
-		inv := 1 / pivot
-		for k := 0; k < s.m; k++ {
-			prow[k] *= inv
-		}
-		for i := 0; i < s.m; i++ {
-			if i == leaving || w[i] == 0 {
-				continue
-			}
-			f := w[i]
-			row := s.binv[i]
-			for k := 0; k < s.m; k++ {
-				row[k] -= f * prow[k]
-			}
-		}
+		s.updNNZ += s.appendEta(w, leaving)
+		s.updates++
 		s.basis[leaving] = entering
 		s.status[entering] = basic
 		s.xb[leaving] = newEnterVal
@@ -489,8 +597,7 @@ func (s *Solver) iterate(c []float64) Status {
 
 		s.pivots++
 		s.stats.Pivots++
-		if s.pivots%refactorEvery == 0 {
-			s.stats.Refactors++
+		if s.updates >= refactorEvery || s.updNNZ > s.fillMax {
 			if !s.refactor() {
 				return IterationLimit
 			}
@@ -498,64 +605,137 @@ func (s *Solver) iterate(c []float64) Status {
 	}
 }
 
-// refactor rebuilds the basis inverse from scratch by Gauss-Jordan
-// elimination with partial pivoting and recomputes the basic values,
-// clearing accumulated floating point drift. It reports false when the
-// basis has become numerically singular. The rebuild targets the
-// inactive half of the double-buffered inverse storage, then swaps.
+// refactor rebuilds the eta file from the current basis columns and
+// recomputes the basic values, clearing accumulated floating point
+// drift and truncating update fill. It reports false when the basis has
+// become numerically singular.
+//
+// Columns are processed in a sparsity-friendly order: repeatedly peel
+// columns with a single remaining unpivoted row (the triangular part of
+// the basis, which for the advisor's flow-like matrices is most of it),
+// then eliminate the residual block in position order. Each column is
+// transformed by the etas recorded so far and pivots on its largest
+// remaining component, so the procedure is exactly Gauss-Jordan
+// elimination with a sparsity-driven pivot order. Pivot rows permute the
+// basis positions; basis and xb are remapped accordingly.
 func (s *Solver) refactor() bool {
+	s.stats.Refactors++
 	m := s.m
-	// Assemble the basis matrix and an identity in the scratch buffers.
-	next := 1 - s.invCur
-	b := s.bRows
-	inv := s.invRows[next]
+	s.etaRow = s.etaRow[:0]
+	s.etaPiv = s.etaPiv[:0]
+	s.etaIdx = s.etaIdx[:0]
+	s.etaVal = s.etaVal[:0]
+	s.etaStart = append(s.etaStart[:0], 0)
+	s.updates, s.updNNZ = 0, 0
+
+	// Row → basis-position adjacency (CSR) over the original column
+	// patterns, used to maintain unpivoted-row counts during peeling.
+	rowStart := s.rowStart
+	for i := range rowStart {
+		rowStart[i] = 0
+	}
+	nnz := 0
+	for k := 0; k < m; k++ {
+		es := s.entries[s.basis[k]]
+		s.colCnt[k] = int32(len(es))
+		nnz += len(es)
+		for _, e := range es {
+			rowStart[e.Row+1]++
+		}
+	}
 	for i := 0; i < m; i++ {
-		brow := s.bData[i*m : (i+1)*m]
-		irow := s.invData[next][i*m : (i+1)*m]
-		for k := range brow {
-			brow[k] = 0
-			irow[k] = 0
-		}
-		irow[i] = 1
-		b[i] = brow
-		inv[i] = irow
+		rowStart[i+1] += rowStart[i]
 	}
-	for pos, j := range s.basis {
-		for _, e := range s.entries[j] {
-			b[e.Row][pos] = e.Coef
+	s.rowPos = growI32(s.rowPos, nnz)
+	fill := s.rowFill
+	for i := range fill {
+		fill[i] = 0
+	}
+	for k := 0; k < m; k++ {
+		for _, e := range s.entries[s.basis[k]] {
+			s.rowPos[rowStart[e.Row]+fill[e.Row]] = int32(k)
+			fill[e.Row]++
 		}
 	}
-	// Invert.
-	for col := 0; col < m; col++ {
-		pr := col
-		for r := col + 1; r < m; r++ {
-			if math.Abs(b[r][col]) > math.Abs(b[pr][col]) {
-				pr = r
-			}
+
+	for i := 0; i < m; i++ {
+		s.pivoted[i] = false
+		s.colDone[i] = false
+		s.posRow[i] = -1
+	}
+	w := s.w
+	for i := range w {
+		w[i] = 0
+	}
+
+	// process eliminates basis position k: transform its column by the
+	// etas so far, pivot on the largest unpivoted component, record the
+	// eta, and update peeling counts.
+	process := func(k int) bool {
+		for _, e := range s.entries[s.basis[k]] {
+			w[e.Row] += e.Coef
 		}
-		if math.Abs(b[pr][col]) < 1e-11 {
-			return false
-		}
-		b[col], b[pr] = b[pr], b[col]
-		inv[col], inv[pr] = inv[pr], inv[col]
-		piv := 1 / b[col][col]
-		for k := 0; k < m; k++ {
-			b[col][k] *= piv
-			inv[col][k] *= piv
-		}
-		for r := 0; r < m; r++ {
-			if r == col || b[r][col] == 0 {
+		s.ftran(w)
+		r, maxAbs := -1, pivTol
+		for i := 0; i < m; i++ {
+			if s.pivoted[i] {
 				continue
 			}
-			f := b[r][col]
-			for k := 0; k < m; k++ {
-				b[r][k] -= f * b[col][k]
-				inv[r][k] -= f * inv[col][k]
+			if a := math.Abs(w[i]); a > maxAbs {
+				r, maxAbs = i, a
+			}
+		}
+		if r < 0 {
+			return false
+		}
+		s.appendEta(w, r)
+		for i := range w {
+			w[i] = 0
+		}
+		s.posRow[k] = int32(r)
+		s.colDone[k] = true
+		s.pivoted[r] = true
+		for t := rowStart[r]; t < rowStart[r+1]; t++ {
+			k2 := s.rowPos[t]
+			s.colCnt[k2]--
+			if s.colCnt[k2] == 1 && !s.colDone[k2] {
+				s.queue = append(s.queue, k2)
+			}
+		}
+		return true
+	}
+
+	// Triangular peel: columns whose pattern has one unpivoted row.
+	s.queue = s.queue[:0]
+	for k := 0; k < m; k++ {
+		if s.colCnt[k] == 1 {
+			s.queue = append(s.queue, int32(k))
+		}
+	}
+	for head := 0; head < len(s.queue); head++ {
+		k := int(s.queue[head])
+		if s.colDone[k] {
+			continue
+		}
+		if !process(k) {
+			return false
+		}
+	}
+	// Residual block in position order.
+	for k := 0; k < m; k++ {
+		if !s.colDone[k] {
+			if !process(k) {
+				return false
 			}
 		}
 	}
-	s.invCur = next
-	s.binv = inv
+
+	// Pivot rows permute basis positions: the variable processed at
+	// position k is now basic at row posRow[k].
+	for k := 0; k < m; k++ {
+		s.newBasis[s.posRow[k]] = s.basis[k]
+	}
+	copy(s.basis, s.newBasis)
 
 	// Recompute basic values: B x_B = -A_N x_N.
 	res := s.res
@@ -577,13 +757,11 @@ func (s *Solver) refactor() bool {
 			res[e.Row] -= e.Coef * s.xval[j]
 		}
 	}
+	s.ftran(res)
 	for i := 0; i < m; i++ {
-		v := 0.0
-		for k := 0; k < m; k++ {
-			v += s.binv[i][k] * res[k]
-		}
-		s.xb[i] = v
-		s.xval[s.basis[i]] = v
+		s.xb[i] = res[i]
+		s.xval[s.basis[i]] = res[i]
+		res[i] = 0
 	}
 	return true
 }

@@ -222,6 +222,31 @@ func (s *Snapshot) Format() string {
 	return b.String()
 }
 
+// FormatSolverStats renders the LP-solver portion of a snapshot as a
+// short human-readable block: solve and warm-start counts with the hit
+// rate, pivot breakdown, refactorizations, and the formulation-side
+// dominance pruning and cutting-plane counters. internal/bip publishes
+// the lp.* totals (aggregated lp.SolverStats) and internal/search the
+// search.* ones; the nose and nosebench -solver-stats flags print this
+// block after a run.
+func (s *Snapshot) FormatSolverStats() string {
+	c := s.Counters
+	var b strings.Builder
+	b.WriteString("solver statistics:\n")
+	solves, warm := c["lp.solves"], c["lp.warm_starts"]
+	fmt.Fprintf(&b, "  LP solves                %d (%d warm-started", solves, warm)
+	if solves > 0 {
+		fmt.Fprintf(&b, " = %.0f%%", 100*float64(warm)/float64(solves))
+	}
+	fmt.Fprintf(&b, ", %d cold fallbacks)\n", c["lp.warm_fallbacks"])
+	fmt.Fprintf(&b, "  simplex pivots           %d (%d dual, %d degenerate)\n",
+		c["lp.pivots"], c["lp.dual_pivots"], c["lp.degenerate_pivots"])
+	fmt.Fprintf(&b, "  basis refactorizations   %d\n", c["lp.refactors"])
+	fmt.Fprintf(&b, "  dominated plans pruned   %d\n", c["search.plans_pruned_dominated"])
+	fmt.Fprintf(&b, "  budget cut rows          %d\n", c["search.cuts"])
+	return b.String()
+}
+
 // sortedKeys returns a map's keys in sorted order.
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"nose/internal/hotel"
+	"nose/internal/randwork"
 	"nose/internal/rubis"
 	"nose/internal/search"
 	"nose/internal/workload"
@@ -86,12 +87,25 @@ func TestAdviseWorkerInvariance(t *testing.T) {
 			// under node and gap cutoffs.
 			opt: search.Options{},
 		},
+		{
+			name: "randwork",
+			build: func(t *testing.T) *workload.Workload {
+				// A synthetic stress workload: enough statements that
+				// branch and bound expands multiple batches and the warm
+				// starts cross worker boundaries.
+				w, err := randwork.Generate(randwork.Config{Factor: 2, Seed: 7})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return w
+			},
+		},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			run := func(workers int) *search.Recommendation {
 				opt := tc.opt
 				opt.Workers = workers
-				if tc.name == "rubis" {
+				if tc.name == "rubis" || tc.name == "randwork" {
 					opt.Planner.MaxPlansPerQuery = 16
 					opt.MaxSupportPlans = 4
 					opt.BIP.MaxNodes = 60
@@ -104,7 +118,7 @@ func TestAdviseWorkerInvariance(t *testing.T) {
 				return rec
 			}
 			base := run(1)
-			for _, workers := range []int{2, 8} {
+			for _, workers := range []int{2, 4, 8} {
 				rec := run(workers)
 				if got, want := rec.Schema.String(), base.Schema.String(); got != want {
 					t.Errorf("workers=%d: schema differs:\n%s\nvs workers=1:\n%s", workers, got, want)

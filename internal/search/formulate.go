@@ -63,6 +63,12 @@ type builder struct {
 	// cost, so the solver must decide presence explicitly even for
 	// maintenance-free families.
 	paidAll bool
+
+	// prunedPlans counts plans removed by dominance pruning and cuts
+	// counts cutting-plane rows added during formulation; both feed the
+	// obs registry.
+	prunedPlans int
+	cuts        int
 }
 
 // colRefs maps BIP columns back to schema objects and plans.
@@ -131,8 +137,64 @@ func newBuilder(w *workload.Workload, pl *planner.Planner, enumRes *enumerator.R
 			b.updates = append(b.updates, ublocks[i])
 		}
 	}
+	// Dominated plans first: candidates used only by dominated plans
+	// then fall to the unselectable prune below.
+	b.pruneDominatedPlans()
 	b.pruneUnselectable()
 	return b, nil
+}
+
+// pruneDominatedPlans drops every plan whose index set is a superset of
+// an earlier (hence cheaper-or-equal: plan spaces are sorted by cost
+// with a deterministic tiebreak) plan's in the same space. The removal
+// is exact for both solver phases and for plan-level failover: wherever
+// the dominated plan is feasible or executable, the dominating plan is
+// too, at no greater cost, and it is ranked first. Shrinking the plan
+// spaces before formulation removes their columns and linking rows from
+// the BIP entirely.
+func (b *builder) pruneDominatedPlans() {
+	pruneSpace := func(space *planner.PlanSpace) {
+		kept := make([]*planner.Plan, 0, len(space.Plans))
+		keptSets := make([]map[string]bool, 0, len(space.Plans))
+		for _, pl := range space.Plans {
+			set := map[string]bool{}
+			for _, x := range pl.Indexes() {
+				set[x.ID()] = true
+			}
+			dominated := false
+			for _, ks := range keptSets {
+				if len(ks) > len(set) {
+					continue
+				}
+				subset := true
+				for id := range ks {
+					if !set[id] {
+						subset = false
+						break
+					}
+				}
+				if subset {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				b.prunedPlans++
+				continue
+			}
+			kept = append(kept, pl)
+			keptSets = append(keptSets, set)
+		}
+		space.Plans = kept
+	}
+	for _, qb := range b.queries {
+		pruneSpace(qb.space)
+	}
+	for _, ub := range b.updates {
+		for _, g := range ub.groups {
+			pruneSpace(g.space)
+		}
+	}
 }
 
 // buildUpdateBlock plans one write statement's maintenance against every
@@ -378,6 +440,15 @@ func (b *builder) formulate(pinCost *float64) (*bip.Program, *colRefs) {
 		}
 		refs.indexCol[x.ID()] = prog.AddBinary(obj, entries...)
 	}
+	if storageRow >= 0 {
+		var items []budgetCutItem
+		for _, x := range b.pool {
+			if col, ok := refs.indexCol[x.ID()]; ok {
+				items = append(items, budgetCutItem{col: col, sizeMB: x.SizeBytes() / 1e6})
+			}
+		}
+		b.cuts += addBudgetCuts(prog, items, b.opt.SpaceBudgetBytes/1e6)
+	}
 
 	// Query plan choice variables with linking constraints to paid
 	// indexes, aggregated per (query, index).
@@ -444,6 +515,82 @@ func (b *builder) formulate(pinCost *float64) (*bip.Program, *colRefs) {
 	}
 
 	return prog, refs
+}
+
+// budgetCutItem pairs a presence column with its storage footprint.
+type budgetCutItem struct {
+	col    int
+	sizeMB float64
+}
+
+// addBudgetCuts tightens a storage-constrained formulation with simple
+// families of valid inequalities over the presence variables — cuts the
+// LP relaxation cannot see but every integer solution must satisfy:
+//
+//   - oversized: families alone exceeding the budget sum to ≤ 0 (the
+//     relaxation would otherwise select them fractionally);
+//   - clique: families each larger than half the budget are pairwise
+//     exclusive, so at most one may be present;
+//   - cover: the smallest big-first prefix whose total exceeds the
+//     budget cannot be selected in full (Σ y ≤ k−1). The prefix is a
+//     minimal cover by construction: dropping its smallest member
+//     already fits the budget.
+//
+// Tightening the relaxation raises node bounds, so branch and bound
+// prunes earlier. Item order is deterministic (size descending, caller
+// order on ties); it returns the number of cut rows added.
+func addBudgetCuts(prog *bip.Program, items []budgetCutItem, budgetMB float64) int {
+	sorted := append([]budgetCutItem(nil), items...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].sizeMB > sorted[j].sizeMB })
+	cuts := 0
+
+	var oversized, big []budgetCutItem
+	for _, it := range sorted {
+		switch {
+		case it.sizeMB > budgetMB:
+			oversized = append(oversized, it)
+		case it.sizeMB > budgetMB/2:
+			big = append(big, it)
+		}
+	}
+	if len(oversized) > 0 {
+		row := prog.AddRow(math.Inf(-1), 0)
+		for _, it := range oversized {
+			prog.AddColEntry(it.col, row, 1)
+		}
+		cuts++
+	}
+	if len(big) >= 2 {
+		row := prog.AddRow(math.Inf(-1), 1)
+		for _, it := range big {
+			prog.AddColEntry(it.col, row, 1)
+		}
+		cuts++
+	}
+
+	// Greedy minimal cover over budget-feasible items.
+	sum := 0.0
+	var cover []budgetCutItem
+	for _, it := range sorted[len(oversized):] {
+		cover = append(cover, it)
+		sum += it.sizeMB
+		if sum > budgetMB {
+			break
+		}
+	}
+	if sum > budgetMB && len(cover) >= 2 {
+		// A two-element cover of half-budget items is already the
+		// clique cut (which is at least as strong).
+		twoBig := len(cover) == 2 && cover[1].sizeMB > budgetMB/2 && len(big) >= 2
+		if !twoBig {
+			row := prog.AddRow(math.Inf(-1), float64(len(cover)-1))
+			for _, it := range cover {
+				prog.AddColEntry(it.col, row, 1)
+			}
+			cuts++
+		}
+	}
+	return cuts
 }
 
 // greedyIncumbent builds a feasible warm-start assignment: every query

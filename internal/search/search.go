@@ -249,6 +249,9 @@ func Advise(w *workload.Workload, opt Options) (*Recommendation, error) {
 		}
 	}
 
+	opt.Obs.Counter("search.plans_pruned_dominated").Add(int64(b.prunedPlans))
+	opt.Obs.Counter("search.cuts").Add(int64(b.cuts))
+
 	// Extraction.
 	t = time.Now()
 	sp = opt.Trace.Begin("extract", "advisor")

@@ -162,6 +162,13 @@ func AdviseSeries(w *workload.Workload, opt Options) (*SeriesRecommendation, err
 		return nil, fmt.Errorf("search: series %v: no feasible schema series", res.Status)
 	}
 	sr.Stats.Nodes = res.Nodes
+	var pruned, cuts int
+	for _, b := range sb.builders {
+		pruned += b.prunedPlans
+		cuts += b.cuts
+	}
+	opt.Obs.Counter("search.plans_pruned_dominated").Add(int64(pruned))
+	opt.Obs.Counter("search.cuts").Add(int64(cuts))
 
 	// Extraction: the series follows the solver's presence assignment
 	// literally, so the migrations reported (and later executed) are
@@ -284,6 +291,13 @@ func (sb *seriesBuilder) formulate() {
 			}
 			raw := b.maint[x.ID()]
 			refs.indexCol[x.ID()] = sb.addBinary(share*raw, t, raw, 0, entries...)
+		}
+		if storageRow >= 0 {
+			var items []budgetCutItem
+			for _, x := range b.pool {
+				items = append(items, budgetCutItem{col: refs.indexCol[x.ID()], sizeMB: x.SizeBytes() / 1e6})
+			}
+			b.cuts += addBudgetCuts(sb.prog, items, sb.opt.SpaceBudgetBytes/1e6)
 		}
 
 		addPlanVars := func(space *planner.PlanSpace, chooseRow int, weight float64, mk func(*planner.Plan) planRef) {
