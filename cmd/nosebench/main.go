@@ -6,6 +6,7 @@
 //	nosebench -experiment fig13 [-factors 5]
 //	nosebench -experiment chaos [-faults 0,0.005,0.02,0.05] [-seed 7]
 //	nosebench -experiment quorum [-faults 0,0.02,0.05,0.1] [-seed 7] [-nodes 5] [-rf 3]
+//	nosebench -experiment crashchaos [-faults 0,0.02] [-seed 7] [-nodes 5] [-rf 3]
 //	nosebench -experiment drift [-drift 0,0.25,0.5,1] [-phases 4] [-seed 7]
 //	nosebench -experiment online [-drift 0,0.25,0.5,1] [-phases 4] [-seed 7] [-fault-rate 0.02] [-penalty 10] [-drift-window 40] [-drift-confirm 2]
 //
@@ -22,7 +23,13 @@
 // degradation of the three schemas under injected store faults.
 // Quorum: the availability/consistency trade of the NoSE schema on a
 // replicated cluster (ONE/QUORUM/ALL, hedged reads, hinted handoff,
-// read repair) under node-level faults. Drift: a time-dependent RUBiS
+// read repair) under node-level faults. Crashchaos: the crash-recovery
+// sweep — a hotel-workload live migration crashed at every journal
+// append index per (consistency level, node fault rate) cell and
+// recovered from the durable journal, plus coordinator crashes inside
+// hinted handoff and read repair; every run must pass the invariant
+// verifier (no acknowledged write lost, cutover agreement, no orphan
+// families). Drift: a time-dependent RUBiS
 // workload sliding from browsing toward write100 across -phases
 // intervals, comparing a statically-advised schema against a
 // re-advised schema series whose mid-run migrations are charged
@@ -53,7 +60,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig11", "fig11, fig12, fig13, budget, ablation, chaos, quorum, drift or online")
+	experiment := flag.String("experiment", "fig11", "fig11, fig12, fig13, budget, ablation, chaos, quorum, crashchaos, drift or online")
 	users := flag.Int("users", 20_000, "RUBiS users (the paper used 200000)")
 	executions := flag.Int("executions", 50, "measured executions per transaction type")
 	factors := flag.Int("factors", 4, "max scale factor for fig13 (the paper used 10; factors above 3 can take tens of minutes with the built-in solver)")
@@ -61,10 +68,10 @@ func main() {
 	space := flag.Float64("space", 0, "advisor space budget in MB; 0 means unlimited")
 	maxNodes := flag.Int("max-nodes", 500, "branch and bound node budget per solve")
 	workers := flag.Int("workers", 0, "advisor worker goroutines; 0 means all CPUs (results are identical for every value)")
-	faultRates := flag.String("faults", "", "comma-separated fault rates for the chaos and quorum experiments")
-	seed := flag.Int64("seed", 7, "seed for the chaos, quorum, drift and online experiments; the same seed reproduces a table bit for bit")
-	nodes := flag.Int("nodes", 5, "cluster size for the quorum experiment")
-	rf := flag.Int("rf", 3, "replication factor for the quorum experiment")
+	faultRates := flag.String("faults", "", "comma-separated fault rates for the chaos, quorum and crashchaos experiments")
+	seed := flag.Int64("seed", 7, "seed for the chaos, quorum, crashchaos, drift and online experiments; the same seed reproduces a table bit for bit")
+	nodes := flag.Int("nodes", 5, "cluster size for the quorum and crashchaos experiments")
+	rf := flag.Int("rf", 3, "replication factor for the quorum and crashchaos experiments")
 	driftRates := flag.String("drift", "", "comma-separated drift rates in [0,1] for the drift and online experiments")
 	phases := flag.Int("phases", experiments.DefaultDriftPhases, "workload phases for the drift and online experiments")
 	faultRate := flag.Float64("fault-rate", experiments.DefaultOnlineFaultRate, "node fault rate for the online experiment's faulted rows; 0 skips them")
@@ -190,6 +197,24 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("Quorum — availability/consistency sweep on a replicated cluster (NoSE schema, bidding workload)")
+		fmt.Print(res.Format())
+	case "crashchaos":
+		rates, err := parseRates(*faultRates)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := experiments.RunCrashChaos(experiments.CrashChaosConfig{
+			Rates:   rates,
+			Nodes:   *nodes,
+			RF:      *rf,
+			Seed:    *seed,
+			Advisor: opts,
+			Obs:     reg,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Crashchaos — crash-point sweep of a live migration with journal recovery and invariant verification (hotel workload)")
 		fmt.Print(res.Format())
 	case "drift":
 		rates, err := parseRates(*driftRates)

@@ -88,6 +88,12 @@ func (r *ReplicatedStore) Def(name string) (ColumnFamilyDef, error) {
 	return r.nodes[0].Def(name)
 }
 
+// Names lists the installed column family names (identical on every
+// node since Create and Drop fan out to all of them).
+func (r *ReplicatedStore) Names() []string {
+	return r.nodes[0].Names()
+}
+
 // ReplicasFor returns the RF node indices holding a partition, primary
 // first, in the deterministic ring order the coordinator contacts them.
 func (r *ReplicatedStore) ReplicasFor(cf string, partition []Value) []int {

@@ -179,11 +179,12 @@ type Coordinator struct {
 	write Consistency
 	hedge HedgePolicy
 
-	mu    sync.Mutex
-	nodes *faults.Nodes
-	hints map[hintKey][]hint
-	stats ReplicaStats
-	co    coordObs
+	mu      sync.Mutex
+	nodes   *faults.Nodes
+	crashes *faults.Crashes
+	hints   map[hintKey][]hint
+	stats   ReplicaStats
+	co      coordObs
 }
 
 // coordObs holds the coordinator's registry instruments; the zero value
@@ -240,6 +241,17 @@ func NewCoordinator(repl *backend.ReplicatedStore, opts CoordinatorOptions) *Coo
 func (c *Coordinator) SetNodes(ns *faults.Nodes) {
 	c.mu.Lock()
 	c.nodes = ns
+	c.mu.Unlock()
+}
+
+// SetCrashes arms deterministic crash injection inside the
+// coordinator's hinted-handoff and read-repair paths: a crash fires
+// just before a pending hint batch is replayed, so the hints are lost
+// with the process — exactly the window where an acknowledged write's
+// durability rests on the replicas that already applied it.
+func (c *Coordinator) SetCrashes(cr *faults.Crashes) {
+	c.mu.Lock()
+	c.crashes = cr
 	c.mu.Unlock()
 }
 
@@ -411,6 +423,11 @@ func (c *Coordinator) Get(name string, req backend.GetRequest) (*backend.GetResu
 		if len(c.hints[k]) == 0 {
 			continue
 		}
+		// Crash point: dying here loses the pending hints with the
+		// process while the stale replica stays stale.
+		if err := c.crashes.Point(faults.SiteReadRepair); err != nil {
+			return nil, err
+		}
 		ms, err := c.replayLocked(k)
 		if err != nil {
 			return nil, err
@@ -482,7 +499,14 @@ func (c *Coordinator) applyWrite(name string, partition, clustering []backend.Va
 		}
 		// Handoff: replay this partition's pending hints first so the
 		// replica applies writes in order.
-		t, err := c.replayLocked(hintKey{node: node, cf: name, part: pk})
+		hk := hintKey{node: node, cf: name, part: pk}
+		if len(c.hints[hk]) > 0 {
+			// Crash point: dying mid-handoff loses the queued hints.
+			if err := c.crashes.Point(faults.SiteHandoff); err != nil {
+				return false, nil, err
+			}
+		}
+		t, err := c.replayLocked(hk)
 		if err != nil {
 			return false, nil, err
 		}
@@ -577,6 +601,10 @@ func (c *Coordinator) FlushHints() (int, error) {
 	for _, k := range keys {
 		if c.nodes != nil && c.nodes.Down(k.node) {
 			continue
+		}
+		// Crash point: background anti-entropy dies between batches.
+		if err := c.crashes.Point(faults.SiteHandoff); err != nil {
+			return applied, err
 		}
 		n := len(c.hints[k])
 		if _, err := c.replayLocked(k); err != nil {

@@ -1,0 +1,91 @@
+package experiments_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"nose/internal/experiments"
+)
+
+func crashChaosTestConfig(workers int) experiments.CrashChaosConfig {
+	opts := fastOptions()
+	opts.Workers = workers
+	return experiments.CrashChaosConfig{
+		Seed:    7,
+		Advisor: opts,
+	}
+}
+
+// TestRunCrashChaosDeterministicSweep: the crash chaos sweep — one
+// migration crashed at every journal append index per (consistency
+// level, fault rate) cell, plus coordinator handoff/read-repair
+// crash-restarts — must recover every run to a verifier-clean state,
+// reproduce bit for bit from its config and seed, and be byte-identical
+// at any advisor worker count. Its Format output is the fingerprint the
+// CI determinism smoke compares.
+func TestRunCrashChaosDeterministicSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow")
+	}
+	res, err := experiments.RunCrashChaos(crashChaosTestConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(experiments.DefaultCrashChaosRates) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(experiments.DefaultCrashChaosRates))
+	}
+	for _, row := range res.Rows {
+		for _, level := range res.Levels {
+			c, ok := row.Cells[level.String()]
+			if !ok {
+				t.Fatalf("rate %g: missing %s cell", row.Rate, level)
+			}
+			if c.JournalRecords < 6 {
+				t.Errorf("rate %g %s: only %d journal records — the sweep proves little", row.Rate, level, c.JournalRecords)
+			}
+			if c.CrashRuns != c.JournalRecords {
+				t.Errorf("rate %g %s: %d crash runs over %d crash points", row.Rate, level, c.CrashRuns, c.JournalRecords)
+			}
+			if c.Verified != c.CrashRuns+1 {
+				t.Errorf("rate %g %s: %d/%d runs verified", row.Rate, level, c.Verified, c.CrashRuns+1)
+			}
+			// Both recovery regimes must appear: early crashes resume
+			// from the watermark, late ones roll forward.
+			if c.Resumed == 0 || c.Completed == 0 {
+				t.Errorf("rate %g %s: outcome histogram missed a regime: %+v", row.Rate, level, c)
+			}
+		}
+	}
+	// Handoff and read repair per rate, all restarts verified.
+	if want := 2 * len(experiments.DefaultCrashChaosRates); len(res.Sites) != want {
+		t.Fatalf("site episodes = %d, want %d", len(res.Sites), want)
+	}
+	for _, sc := range res.Sites {
+		if !sc.Verified || sc.HintsQueued == 0 || sc.OpsToCrash == 0 {
+			t.Errorf("site %s rate %g: incomplete episode: %+v", sc.Site, sc.Rate, sc)
+		}
+	}
+
+	// Identical config and seed reproduce the sweep bit for bit, and
+	// the advisor worker count must not change a single byte.
+	again, err := experiments.RunCrashChaos(crashChaosTestConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, again) {
+		t.Error("same seed produced a different sweep")
+	}
+	wide, err := experiments.RunCrashChaos(crashChaosTestConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, wide) {
+		t.Errorf("worker count changed the sweep:\n%s\nvs\n%s", res.Format(), wide.Format())
+	}
+
+	out := res.Format()
+	if !strings.Contains(out, "read-repair") && !strings.Contains(out, "readrepair") && !strings.Contains(out, "read_repair") {
+		t.Errorf("format output missing the site section:\n%s", out)
+	}
+}

@@ -25,10 +25,12 @@ import (
 	"nose/internal/drift"
 	"nose/internal/executor"
 	"nose/internal/faults"
+	"nose/internal/journal"
 	"nose/internal/migrate"
 	"nose/internal/obs"
 	"nose/internal/planner"
 	"nose/internal/search"
+	"nose/internal/verify"
 	"nose/internal/workload"
 )
 
@@ -114,6 +116,16 @@ type System struct {
 	pendingMix map[string]float64
 	robust     robustCounters
 
+	// jr is the attached migration journal (nil without AttachJournal);
+	// verifier and tap are the attached invariant oracle and its
+	// acknowledgement-recording middleware (nil without AttachVerifier);
+	// crashes is the armed crash-point set (nil without EnableCrashes).
+	// All are wired before statement execution starts.
+	jr       *journal.Journal
+	verifier *verify.Verifier
+	tap      *verify.Tap
+	crashes  *faults.Crashes
+
 	// reg collects every layer's metrics for this system: the store (or
 	// all replica node stores), the coordinator, the executor, the fault
 	// injectors, and the harness's own statement outcomes.
@@ -181,6 +193,44 @@ func NewSystem(name string, ds *backend.Dataset, rec *search.Recommendation, lat
 	s.Exec = executor.New(store, lat)
 	s.Exec.SetObs(s.reg)
 	return s, nil
+}
+
+// NewSystemFromStore wraps an existing store — typically one that
+// survived a simulated crash — into a system serving rec's plans,
+// without re-installing anything. The store's contents are taken as-is;
+// rec must be the recommendation the store was serving when the crash
+// hit, so its plans match the installed families. Use harness.Recover
+// afterwards to finish or roll back an interrupted live migration.
+func NewSystemFromStore(name string, store *backend.Store, rec *search.Recommendation, lat cost.Params) *System {
+	s := newSystem(name, rec, lat)
+	s.Store = store
+	store.SetObs(s.reg)
+	s.Exec = executor.New(store, lat)
+	s.Exec.SetObs(s.reg)
+	return s
+}
+
+// NewReplicatedSystemFromStore wraps an existing replicated cluster
+// after a simulated crash. The coordinator is rebuilt fresh — its
+// in-memory hint queues die with the process, which is exactly the
+// restart semantics hinted handoff has in real stores: replicas that
+// missed writes stay stale until read repair finds them. Only cfg's
+// consistency levels and hedge policy are used; the cluster shape comes
+// from repl itself.
+func NewReplicatedSystemFromStore(name string, repl *backend.ReplicatedStore, rec *search.Recommendation, lat cost.Params, cfg ReplicationConfig) *System {
+	coord := executor.NewCoordinator(repl, executor.CoordinatorOptions{
+		Read:  cfg.Read,
+		Write: cfg.Write,
+		Hedge: cfg.Hedge,
+	})
+	s := newSystem(name, rec, lat)
+	s.Repl = repl
+	s.Coord = coord
+	repl.SetObs(s.reg)
+	coord.SetObs(s.reg)
+	s.Exec = executor.New(coord, lat)
+	s.Exec.SetObs(s.reg)
+	return s
 }
 
 // ReplicationConfig shapes a replicated system: cluster size,
@@ -325,6 +375,11 @@ func (s *System) Migrate(ds *backend.Dataset, pr *search.PhaseRecommendation, p 
 		return nil, fmt.Errorf("harness: %s: migrate to phase %q: %w", s.Name, phaseName(pr), err)
 	}
 	s.adoptRecommendation(pr.Rec)
+	if s.verifier != nil {
+		for _, name := range res.Dropped {
+			s.verifier.NoteDropped(name)
+		}
+	}
 
 	s.reg.Counter("harness.migrations").Inc()
 	s.reg.Counter("harness.migration_families_built").Add(int64(len(res.Built)))
@@ -356,11 +411,7 @@ func phaseName(pr *search.PhaseRecommendation) string {
 // On a replicated system the injector layers per-family weather on top
 // of the coordinator, above any node-level faults.
 func (s *System) EnableFaults(seed int64, def faults.Profile, policy executor.RetryPolicy) *faults.Injector {
-	var inner backend.KVBackend = s.Store
-	if s.Coord != nil {
-		inner = s.Coord
-	}
-	inj := faults.New(inner, seed)
+	inj := faults.New(s.innerBackend(), seed)
 	inj.SetDefaultProfile(def)
 	inj.SetObs(s.reg)
 	s.inj = inj
@@ -383,9 +434,96 @@ func (s *System) EnableNodeFaults(seed int64, def faults.NodeProfile, policy exe
 	ns.SetObs(s.reg)
 	s.nodeInj = ns
 	s.Coord.SetNodes(ns)
-	s.Exec = executor.NewRetrying(s.Coord, s.lat, policy)
+	s.Exec = executor.NewRetrying(s.innerBackend(), s.lat, policy)
 	s.Exec.SetObs(s.reg)
 	return ns
+}
+
+// innerBackend is the layer statement execution sits on: the verifier
+// tap when one is attached (so every acknowledgement below retries and
+// injected weather is recorded), else the coordinator (replicated) or
+// the store.
+func (s *System) innerBackend() backend.KVBackend {
+	if s.tap != nil {
+		return s.tap
+	}
+	if s.Coord != nil {
+		return s.Coord
+	}
+	return s.Store
+}
+
+// AttachVerifier interposes v's acknowledgement tap between the
+// executor and the store (or coordinator) and registers v as the
+// system's invariant oracle for VerifyCheck. Attach BEFORE EnableFaults
+// or EnableNodeFaults: fault injectors must layer above the tap so an
+// injected failure is not recorded as an acknowledged write. The same
+// verifier can (and in crash experiments must) be attached to every
+// incarnation of a system — it is the cross-crash memory of what was
+// acknowledged.
+func (s *System) AttachVerifier(v *verify.Verifier) {
+	s.verifier = v
+	var inner backend.KVBackend = s.Store
+	if s.Coord != nil {
+		inner = s.Coord
+	}
+	s.tap = verify.NewTap(inner, v)
+	s.Exec = executor.New(s.tap, s.lat)
+	s.Exec.SetObs(s.reg)
+}
+
+// Verifier returns the attached invariant oracle, or nil.
+func (s *System) Verifier() *verify.Verifier { return s.verifier }
+
+// AttachJournal sets the migration journal StartLiveMigration writes
+// through and Recover appends recovery outcomes to. For a recovered
+// incarnation, pass the journal returned by journal.Open over the
+// crashed incarnation's durable bytes — with a fresh (or nil) crash
+// set, since a crash is per-incarnation.
+func (s *System) AttachJournal(j *journal.Journal) { s.jr = j }
+
+// Journal returns the attached migration journal, or nil.
+func (s *System) Journal() *journal.Journal { return s.jr }
+
+// EnableCrashes arms deterministic crash injection: the set is handed
+// to the replica coordinator (hinted-handoff and read-repair crash
+// points) and should be the same set the attached journal was built
+// with, so one armed index kills the whole simulated process whichever
+// site reaches it first.
+func (s *System) EnableCrashes(cr *faults.Crashes) {
+	s.crashes = cr
+	if s.Coord != nil {
+		s.Coord.SetCrashes(cr)
+	}
+}
+
+// VerifyCheck runs the attached verifier's invariants against the
+// system's current store state. The expected family set is the serving
+// schema's indexes plus anything an in-flight live migration is
+// building or still holding for its drop phase.
+func (s *System) VerifyCheck() (*verify.Report, error) {
+	if s.verifier == nil {
+		return nil, fmt.Errorf("harness: %s: VerifyCheck without AttachVerifier", s.Name)
+	}
+	expected := map[string]bool{}
+	for _, x := range s.Rec().Schema.Indexes() {
+		expected[x.Name] = true
+	}
+	if lm := s.live.Load(); lm != nil {
+		for _, name := range lm.ctrl.Building() {
+			expected[name] = true
+		}
+		for _, x := range lm.pr.Drop {
+			expected[x.Name] = true
+		}
+	}
+	var reader verify.Reader
+	if s.Repl != nil {
+		reader = verify.ReplicatedReader{Repl: s.Repl}
+	} else {
+		reader = verify.StoreReader{Store: s.Store}
+	}
+	return s.verifier.Check(reader, expected)
 }
 
 // MarkNodeDown takes a whole node out of service on a replicated

@@ -7,9 +7,12 @@ import (
 	"nose/internal/backend"
 	"nose/internal/drift"
 	"nose/internal/executor"
+	"nose/internal/faults"
+	"nose/internal/journal"
 	"nose/internal/migrate"
 	"nose/internal/obs"
 	"nose/internal/search"
+	"nose/internal/verify"
 	"nose/internal/workload"
 )
 
@@ -62,11 +65,49 @@ func (s *System) StartLiveMigration(ds *backend.Dataset, pr *search.PhaseRecomme
 	put := func(cf string, partition, clustering, values []backend.Value) (float64, error) {
 		return s.Exec.Put(cf, partition, clustering, values)
 	}
+	// Journal the migration's intent before any family exists: the
+	// start record names the build and drop sets, so recovery can
+	// reconstruct the migration from the journal alone. Dying at this
+	// append leaves the store untouched and the journal without a start
+	// record — recovery correctly finds nothing to do.
+	opts.Journal = s.jr
+	if s.jr != nil {
+		buildNames := make([]string, 0, len(pr.Build))
+		for _, x := range pr.Build {
+			buildNames = append(buildNames, x.Name)
+		}
+		dropNames := make([]string, 0, len(pr.Drop))
+		for _, x := range pr.Drop {
+			dropNames = append(dropNames, x.Name)
+		}
+		ms, err := s.jr.Append(journal.Record{
+			Kind: journal.KindStart, Name: phaseName(pr), Build: buildNames, Drop: dropNames,
+		})
+		s.reg.Gauge("harness.live.sim_ms").Add(ms)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s: start live migration to %q: %w", s.Name, phaseName(pr), err)
+		}
+	}
 	ctrl, err := migrate.StartLive(ds, store, pr.Build, pr.Drop, put, opts)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s: start live migration to %q: %w", s.Name, phaseName(pr), err)
 	}
 
+	s.armLive(ctrl, pr)
+	s.reg.Counter("harness.live.started").Inc()
+	p := ctrl.Progress()
+	s.traceSpan("live-migrate start -> "+phaseName(pr), "migration", 0,
+		map[string]any{"build": len(pr.Build), "drop": len(pr.Drop), "records": p.TotalRecords})
+	return ctrl, nil
+}
+
+// armLive wires a (fresh or recovered) live-migration controller into
+// the system: dual-write routing for the families under construction,
+// and the abort hook that tears that routing down atomically with the
+// controller's rollback. Without the hook, ctrl.Abort() called directly
+// on the controller would drop the new families while the harness kept
+// forwarding writes to them — re-creating them as orphans.
+func (s *System) armLive(ctrl *migrate.Live, pr *search.PhaseRecommendation) *liveMigration {
 	building := map[string]bool{}
 	for _, name := range ctrl.Building() {
 		building[name] = true
@@ -85,12 +126,22 @@ func (s *System) StartLiveMigration(ds *backend.Dataset, pr *search.PhaseRecomme
 		dualWrites:        s.reg.Counter("harness.live.dual_writes"),
 		dualWriteFailures: s.reg.Counter("harness.live.dual_write_failures"),
 	}
+	ctrl.SetOnAbort(func(created []string) {
+		// Runs under the controller's lock, atomically with the
+		// rollback: no statement can observe dropped families still
+		// receiving forwards. The CAS tolerates the hook firing after a
+		// newer migration took the slot.
+		lm.dualDone.Store(true)
+		s.live.CompareAndSwap(lm, nil)
+		s.reg.Counter("harness.live.aborted").Inc()
+		if s.verifier != nil {
+			for _, cf := range created {
+				s.verifier.NoteDropped(cf)
+			}
+		}
+	})
 	s.live.Store(lm)
-	s.reg.Counter("harness.live.started").Inc()
-	p := ctrl.Progress()
-	s.traceSpan("live-migrate start -> "+phaseName(pr), "migration", 0,
-		map[string]any{"build": len(pr.Build), "drop": len(pr.Drop), "records": p.TotalRecords})
-	return ctrl, nil
+	return lm
 }
 
 // LiveActive reports whether a background migration is running.
@@ -124,10 +175,17 @@ func (s *System) LiveStep() (migrate.StepResult, error) {
 			map[string]any{"copied": sr.Copied, "faults": sr.Faults})
 	}
 	switch {
+	case faults.IsCrash(err):
+		// The simulated process died mid-step. Nothing is detached or
+		// counted: this incarnation is dead, and a recovered incarnation
+		// — built over the surviving store with harness.Recover — owns
+		// all further bookkeeping.
+		return sr, fmt.Errorf("harness: %s: live migration to %q: %w", s.Name, phaseName(lm.pr), err)
 	case err != nil:
-		lm.dualDone.Store(true)
-		s.live.Store(nil)
-		s.reg.Counter("harness.live.aborted").Inc()
+		// Abort: the controller's OnAbort hook (see armLive) already
+		// stopped dual-write forwarding, detached the migration, and
+		// counted the abort — atomically with the rollback.
+		s.live.CompareAndSwap(lm, nil)
 		return sr, fmt.Errorf("harness: %s: live migration to %q: %w", s.Name, phaseName(lm.pr), err)
 	case sr.State == migrate.StateCutover && sr.Transitioned:
 		// Every record has landed: swap the plans atomically. From this
@@ -137,27 +195,93 @@ func (s *System) LiveStep() (migrate.StepResult, error) {
 		s.adoptRecommendation(lm.pr.Rec)
 		lm.dualDone.Store(true)
 		s.reg.Counter("harness.live.cutovers").Inc()
+		if s.verifier != nil {
+			s.verifier.NoteCutover(snapshotToRows(lm.ctrl.Snapshot()))
+		}
 		s.traceSpan("live-migrate plan cutover -> "+phaseName(lm.pr), "migration", 0, nil)
+		// Journal that the plan swap happened: recovery distinguishes
+		// "cutover reached but plans never swapped" (roll forward,
+		// re-adopt) from "already serving the new schema".
+		if s.jr != nil {
+			ms, jerr := s.jr.Append(journal.Record{Kind: journal.KindCutoverApplied})
+			s.reg.Gauge("harness.live.sim_ms").Add(ms)
+			if jerr != nil {
+				return sr, fmt.Errorf("harness: %s: live migration to %q: %w", s.Name, phaseName(lm.pr), jerr)
+			}
+		}
 	case sr.State == migrate.StateDone:
 		s.live.Store(nil)
 		s.reg.Counter("harness.live.completed").Inc()
+		if s.verifier != nil {
+			for _, x := range lm.pr.Drop {
+				s.verifier.NoteDropped(x.Name)
+			}
+		}
 	}
 	return sr, nil
 }
+
+// snapshotToRows converts a controller's backfill snapshot to the
+// verifier's row type.
+func snapshotToRows(snap []migrate.SnapshotRow) []verify.Row {
+	rows := make([]verify.Row, len(snap))
+	for i, r := range snap {
+		rows[i] = verify.Row{CF: r.CF, Partition: r.Partition, Clustering: r.Clustering}
+	}
+	return rows
+}
+
+// drainStallLimit is how many consecutive zero-progress steps
+// DrainLiveMigration tolerates before giving up on the migration. A
+// healthy step always makes progress (copies records, transitions
+// state, or aborts on a budget breach); repeated no-op steps mean the
+// migration can never finish under Drain — a paused controller, or an
+// unlimited fault budget with a permanently failing backfill put.
+const drainStallLimit = 3
 
 // DrainLiveMigration runs LiveStep until the migration finishes or
 // aborts, bounded by maxSteps (<=0 means no bound). It returns the
 // terminal state and, for aborts, migrate.ErrAborted. Use it to let a
 // migration complete after its workload ends.
+//
+// A migration that stops making progress — no records copied and no
+// state transition for drainStallLimit consecutive steps — is aborted
+// and the abort surfaced, instead of Drain spinning its entire step
+// budget (or, unbounded, forever) on a migration that cannot finish.
+// The two ways to get there are a controller someone left paused and a
+// permanently failing backfill put under an unlimited fault budget; a
+// bounded budget aborts on its own when the failures exhaust it.
 func (s *System) DrainLiveMigration(maxSteps int) (migrate.State, error) {
+	stalled := 0
 	for i := 0; maxSteps <= 0 || i < maxSteps; i++ {
 		lm := s.live.Load()
 		if lm == nil {
 			break
 		}
-		if _, err := s.LiveStep(); err != nil {
+		sr, err := s.LiveStep()
+		if err != nil {
 			return migrate.StateAborted, err
 		}
+		if sr.Copied == 0 && !sr.Transitioned {
+			stalled++
+			if stalled >= drainStallLimit {
+				if lm.ctrl.Progress().Paused {
+					// Draining means finishing: un-pause and keep going.
+					lm.ctrl.Resume()
+					stalled = 0
+					continue
+				}
+				// Still abortable and not progressing: the backfill put
+				// fails permanently under an unlimited budget. Abort (the
+				// OnAbort hook detaches the migration) and surface it.
+				lm.ctrl.Abort()
+				s.live.CompareAndSwap(lm, nil)
+				return migrate.StateAborted, fmt.Errorf("harness: %s: live migration stalled: no progress in %d consecutive steps: %w",
+					s.Name, stalled, migrate.ErrAborted)
+			}
+			continue
+		}
+		stalled = 0
 	}
 	if lm := s.live.Load(); lm != nil {
 		return lm.ctrl.State(), fmt.Errorf("harness: %s: live migration not finished after %d steps", s.Name, maxSteps)

@@ -54,6 +54,25 @@ type RobustnessReport struct {
 	// Migration reports the live-migration ledger; zero when no
 	// background migration ever ran.
 	Migration MigrationStats
+	// Recovery reports the crash-recovery ledger; zero when Recover
+	// never ran on this system.
+	Recovery RecoveryStats
+}
+
+// RecoveryStats is the crash-recovery slice of a RobustnessReport:
+// what replaying the migration journal after simulated crashes decided
+// and cost.
+type RecoveryStats struct {
+	// Attempts counts Recover calls; the outcome counters partition
+	// them by decision.
+	Attempts, None, Resumed, Completed, RolledBack int64
+	// OrphansDropped is the number of families recovery garbage-
+	// collected while finishing rollbacks; FamiliesDropped the
+	// superseded families dropped while rolling forward.
+	OrphansDropped, FamiliesDropped int64
+	// SimMillis is the simulated time recovery's journal appends
+	// consumed.
+	SimMillis float64
 }
 
 // MigrationStats is the live-migration slice of a RobustnessReport:
@@ -91,6 +110,11 @@ func (r RobustnessReport) String() string {
 			r.Migration.Started, r.Migration.CutOver, r.Migration.Aborted,
 			r.Migration.BackfillRecords, r.Migration.SimMillis,
 			r.Migration.DualWrites, r.Migration.DualWriteFailures, r.Migration.BackfillFaults)
+	}
+	if r.Recovery != (RecoveryStats{}) {
+		s += fmt.Sprintf("\nrecovery: %d attempts (%d resumed, %d rolled forward, %d rolled back, %d no-op), %d orphans dropped",
+			r.Recovery.Attempts, r.Recovery.Resumed, r.Recovery.Completed, r.Recovery.RolledBack, r.Recovery.None,
+			r.Recovery.OrphansDropped)
 	}
 	return s
 }
@@ -167,6 +191,16 @@ func (s *System) Robustness() RobustnessReport {
 		DualWrites:        s.reg.Counter("harness.live.dual_writes").Value(),
 		DualWriteFailures: s.reg.Counter("harness.live.dual_write_failures").Value(),
 		SimMillis:         s.reg.Gauge("harness.live.sim_ms").Value(),
+	}
+	r.Recovery = RecoveryStats{
+		Attempts:        s.reg.Counter("harness.recover.attempts").Value(),
+		None:            s.reg.Counter("harness.recover.none").Value(),
+		Resumed:         s.reg.Counter("harness.recover.resumed").Value(),
+		Completed:       s.reg.Counter("harness.recover.completed").Value(),
+		RolledBack:      s.reg.Counter("harness.recover.rolled-back").Value(),
+		OrphansDropped:  s.reg.Counter("harness.recover.orphans_dropped").Value(),
+		FamiliesDropped: s.reg.Counter("harness.recover.families_dropped").Value(),
+		SimMillis:       s.reg.Gauge("harness.recover.sim_ms").Value(),
 	}
 	return r
 }

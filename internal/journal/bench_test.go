@@ -1,0 +1,22 @@
+package journal_test
+
+import (
+	"testing"
+
+	"nose/internal/journal"
+)
+
+// BenchmarkJournalAppend measures the cost of one durable append of a
+// typical chunk-watermark record — the journal write on the live
+// migration's hot path (one per backfill chunk). Gated against
+// BENCH_baseline.json in CI.
+func BenchmarkJournalAppend(b *testing.B) {
+	j := journal.New(journal.Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := j.Append(journal.Record{Kind: journal.KindChunk, Cursor: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

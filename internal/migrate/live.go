@@ -6,6 +6,8 @@ import (
 	"sync"
 
 	"nose/internal/backend"
+	"nose/internal/faults"
+	"nose/internal/journal"
 	"nose/internal/schema"
 )
 
@@ -103,6 +105,14 @@ type LiveOptions struct {
 	// estimated here: every put is charged at the simulated time the
 	// injected PutFunc actually consumed.
 	Params CostParams
+	// Journal, when set, durably records every state transition, family
+	// creation and backfill chunk watermark so a crashed migration can
+	// be recovered (see internal/journal and harness.Recover). Append
+	// costs are charged into the migration's simulated time. A crash
+	// injected at a journal append surfaces as the Step/StartLive error
+	// and deliberately skips rollback — the simulated process is dead,
+	// and recovery owns the cleanup.
+	Journal *journal.Journal
 }
 
 func (o LiveOptions) normalized() LiveOptions {
@@ -178,6 +188,34 @@ type Live struct {
 	drop    []string
 	res     Result
 	err     error
+	onAbort func(created []string)
+}
+
+// SetOnAbort registers a hook invoked exactly once when the migration
+// rolls back — whether via Abort or a fault-budget breach inside Step.
+// The harness uses it to tear down dual-write forwarding atomically
+// with the rollback: without the hook, an Abort called directly on the
+// controller would leave the harness forwarding writes to families the
+// rollback just dropped. The hook runs with the controller locked; it
+// must not call back into Live.
+func (l *Live) SetOnAbort(fn func(created []string)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.onAbort = fn
+}
+
+// journalLocked appends one record to the configured journal (if any),
+// charging the simulated sync time to the migration. The returned
+// millis are also added to the caller's step result. An error is a
+// simulated crash at the append point: the caller must propagate it
+// without cleanup.
+func (l *Live) journalLocked(r journal.Record) (float64, error) {
+	if l.opts.Journal == nil {
+		return 0, nil
+	}
+	ms, err := l.opts.Journal.Append(r)
+	l.res.SimMillis += ms
+	return ms, err
 }
 
 // StartLive begins a live migration: it creates every family in build
@@ -208,31 +246,119 @@ func StartLive(ds *backend.Dataset, s Store, build, drop []*schema.Index, put Pu
 		}
 		l.created = append(l.created, def.Name)
 		l.res.SimMillis += l.opts.Params.PerFamilyMillis
-		err := ds.ForEachCombination(x.Path, func(tuple map[string]backend.Value) error {
-			rec := liveRecord{
-				cf:         def.Name,
-				partition:  make([]backend.Value, len(def.PartitionCols)),
-				clustering: make([]backend.Value, len(def.ClusteringCols)),
-				values:     make([]backend.Value, len(def.ValueCols)),
-			}
-			for i, c := range def.PartitionCols {
-				rec.partition[i] = tuple[c]
-			}
-			for i, c := range def.ClusteringCols {
-				rec.clustering[i] = tuple[c]
-			}
-			for i, c := range def.ValueCols {
-				rec.values[i] = tuple[c]
-			}
-			l.records = append(l.records, rec)
-			return nil
-		})
-		if err != nil {
+		// Journal the creation after it succeeded: recovery garbage-
+		// collects created-but-unjournaled families by diffing the store
+		// against the journal. A crash here skips rollback — the
+		// simulated process is dead and recovery owns cleanup.
+		if _, err := l.journalLocked(journal.Record{Kind: journal.KindCreated, Name: def.Name}); err != nil {
+			return nil, err
+		}
+		if err := l.snapshotLocked(ds, x, def); err != nil {
 			l.rollbackLocked()
 			return nil, fmt.Errorf("migrate: snapshot %s: %w", x.Name, err)
 		}
 	}
 	return l, nil
+}
+
+// snapshotLocked materializes one family's backfill records from the
+// dataset in the dataset's deterministic iteration order.
+func (l *Live) snapshotLocked(ds *backend.Dataset, x *schema.Index, def backend.ColumnFamilyDef) error {
+	return ds.ForEachCombination(x.Path, func(tuple map[string]backend.Value) error {
+		rec := liveRecord{
+			cf:         def.Name,
+			partition:  make([]backend.Value, len(def.PartitionCols)),
+			clustering: make([]backend.Value, len(def.ClusteringCols)),
+			values:     make([]backend.Value, len(def.ValueCols)),
+		}
+		for i, c := range def.PartitionCols {
+			rec.partition[i] = tuple[c]
+		}
+		for i, c := range def.ClusteringCols {
+			rec.clustering[i] = tuple[c]
+		}
+		for i, c := range def.ValueCols {
+			rec.values[i] = tuple[c]
+		}
+		l.records = append(l.records, rec)
+		return nil
+	})
+}
+
+// ResumeLive reconstructs a live migration from its journal after a
+// crash: build and drop are the index sets the journal's start record
+// named, and cursor is the last durable chunk watermark. Families the
+// crash left missing are created; survivors are NEVER dropped and
+// re-created — they hold dual-written rows that a re-create would
+// silently wipe (exactly the loss the verifier's I1 exists to catch).
+// The backfill snapshot is rebuilt from the dataset (deterministic
+// iteration order makes the cursor meaningful across incarnations) and
+// copying resumes from the watermark; records that landed after the
+// last durable chunk record are re-put, which is idempotent. The
+// controller starts in StateBackfill, or StateCutover when the
+// watermark already covers every record.
+func ResumeLive(ds *backend.Dataset, s Store, build, drop []*schema.Index, cursor int, put PutFunc, opts LiveOptions) (*Live, error) {
+	l := &Live{
+		state: StateBackfill,
+		put:   put,
+		store: s,
+		opts:  opts.normalized(),
+	}
+	for _, x := range drop {
+		l.drop = append(l.drop, x.Name)
+	}
+	for _, x := range build {
+		if x.Name == "" {
+			return nil, fmt.Errorf("migrate: index %s has no name", x)
+		}
+		def := backend.DefFromIndex(x)
+		if _, err := s.Def(def.Name); err != nil {
+			if err := s.Create(def); err != nil {
+				return nil, fmt.Errorf("migrate: re-create %s: %w", x.Name, err)
+			}
+			l.res.SimMillis += l.opts.Params.PerFamilyMillis
+			if _, err := l.journalLocked(journal.Record{Kind: journal.KindCreated, Name: def.Name}); err != nil {
+				return nil, err
+			}
+		}
+		l.created = append(l.created, def.Name)
+		if err := l.snapshotLocked(ds, x, def); err != nil {
+			return nil, fmt.Errorf("migrate: snapshot %s: %w", x.Name, err)
+		}
+	}
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor > len(l.records) {
+		cursor = len(l.records)
+	}
+	l.cursor = cursor
+	if l.cursor == len(l.records) {
+		l.state = StateCutover
+	}
+	return l, nil
+}
+
+// SnapshotRow identifies one backfilled record by primary key; the
+// harness hands the full snapshot to the verifier at cutover so the
+// old and new families can be checked for agreement.
+type SnapshotRow struct {
+	// CF is the destination column family.
+	CF string
+	// Partition and Clustering form the record's primary key.
+	Partition, Clustering []backend.Value
+}
+
+// Snapshot returns the primary keys of every record this migration
+// backfills, in copy order.
+func (l *Live) Snapshot() []SnapshotRow {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SnapshotRow, len(l.records))
+	for i, rec := range l.records {
+		out[i] = SnapshotRow{CF: rec.cf, Partition: rec.partition, Clustering: rec.clustering}
+	}
+	return out
 }
 
 // Building returns the names of the families this migration is
@@ -278,20 +404,40 @@ func (l *Live) Resume() {
 // and the state becomes StateAborted. The old schema is untouched and
 // keeps serving. Aborting is a no-op once the migration is finished or
 // past the point of no return (StateCutover onward — the caller may
-// already be serving from the new families).
+// already be serving from the new families). The registered OnAbort
+// hook fires with the rollback, so a harness driving the migration
+// stops dual-write forwarding atomically. A simulated crash at the
+// abort-intent journal append is swallowed here (the process is dead;
+// every later operation on the crashed incarnation fails anyway).
 func (l *Live) Abort() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.abortLocked()
+	_ = l.abortLocked()
 }
 
-func (l *Live) abortLocked() {
+// abortLocked writes the abort intent to the journal, rolls back, and
+// fires the OnAbort hook. A crash at the intent append returns the
+// crash error without rolling back — recovery reads the journal and,
+// finding no abort intent, treats the migration as in-flight.
+func (l *Live) abortLocked() error {
 	if l.state != StateDualWrite && l.state != StateBackfill {
-		return
+		return nil
+	}
+	// Intent-log the abort BEFORE dropping anything: recovery must
+	// distinguish "rollback may be half done, finish it" (intent
+	// present) from "migration was in flight" (no intent).
+	if _, err := l.journalLocked(journal.Record{Kind: journal.KindState, State: uint8(StateAborted)}); err != nil {
+		return err
 	}
 	l.rollbackLocked()
 	l.state = StateAborted
 	l.err = ErrAborted
+	if l.onAbort != nil {
+		fn := l.onAbort
+		l.onAbort = nil
+		fn(append([]string(nil), l.created...))
+	}
+	return nil
 }
 
 // rollbackLocked drops every family this migration created.
@@ -386,7 +532,10 @@ func (l *Live) Step() (StepResult, error) {
 	l.faults += l.extern
 	l.extern = 0
 	if l.overBudgetLocked() && (l.state == StateDualWrite || l.state == StateBackfill) {
-		l.abortLocked()
+		if err := l.abortLocked(); err != nil {
+			sr.State = l.state
+			return sr, err // crashed at the abort-intent append
+		}
 		sr.State = l.state
 		sr.Transitioned = true
 		return sr, ErrAborted
@@ -396,6 +545,12 @@ func (l *Live) Step() (StepResult, error) {
 	case StateDualWrite:
 		l.state = StateBackfill
 		sr.Transitioned = true
+		ms, err := l.journalLocked(journal.Record{Kind: journal.KindState, State: uint8(StateBackfill)})
+		sr.SimMillis += ms
+		if err != nil {
+			sr.State = l.state
+			return sr, err
+		}
 	case StateBackfill:
 		for sr.Copied < l.opts.ChunkRecords && l.cursor < len(l.records) {
 			rec := l.records[l.cursor]
@@ -403,13 +558,23 @@ func (l *Live) Step() (StepResult, error) {
 			sr.SimMillis += ms
 			l.res.SimMillis += ms
 			if err != nil {
+				// A crash below the backfill put (e.g. in the replica
+				// coordinator's handoff path) is not a fault to retry:
+				// the process is dead and the error surfaces.
+				if faults.IsCrash(err) {
+					sr.State = l.state
+					return sr, err
+				}
 				// The cursor stays put: this record is retried by the
 				// next Step, so a record never lands zero times and
 				// the copy is exact-once per family snapshot.
 				l.faults++
 				sr.Faults++
 				if l.overBudgetLocked() {
-					l.abortLocked()
+					if aerr := l.abortLocked(); aerr != nil {
+						sr.State = l.state
+						return sr, aerr
+					}
 					sr.State = l.state
 					sr.Transitioned = true
 					return sr, ErrAborted
@@ -420,13 +585,36 @@ func (l *Live) Step() (StepResult, error) {
 			sr.Copied++
 			l.res.Records++
 		}
+		// Durable watermark: records copied this chunk survive a crash
+		// from here on; a crash at the append itself loses only this
+		// chunk's watermark and recovery re-copies it (idempotent).
+		if sr.Copied > 0 {
+			ms, err := l.journalLocked(journal.Record{Kind: journal.KindChunk, Cursor: uint64(l.cursor)})
+			sr.SimMillis += ms
+			if err != nil {
+				sr.State = l.state
+				return sr, err
+			}
+		}
 		if l.cursor == len(l.records) {
 			l.state = StateCutover
 			sr.Transitioned = true
+			ms, err := l.journalLocked(journal.Record{Kind: journal.KindState, State: uint8(StateCutover)})
+			sr.SimMillis += ms
+			if err != nil {
+				sr.State = l.state
+				return sr, err
+			}
 		}
 	case StateCutover:
 		l.state = StateDrop
 		sr.Transitioned = true
+		ms, err := l.journalLocked(journal.Record{Kind: journal.KindState, State: uint8(StateDrop)})
+		sr.SimMillis += ms
+		if err != nil {
+			sr.State = l.state
+			return sr, err
+		}
 	case StateDrop:
 		for _, name := range l.drop {
 			l.store.Drop(name)
@@ -435,6 +623,12 @@ func (l *Live) Step() (StepResult, error) {
 		l.res.Built = append([]string(nil), l.created...)
 		l.state = StateDone
 		sr.Transitioned = true
+		ms, err := l.journalLocked(journal.Record{Kind: journal.KindState, State: uint8(StateDone)})
+		sr.SimMillis += ms
+		if err != nil {
+			sr.State = l.state
+			return sr, err
+		}
 	}
 	sr.State = l.state
 	return sr, nil

@@ -95,10 +95,13 @@ func EstimatedCost(build []*schema.Index, p CostParams) float64 {
 }
 
 // Store is the record-store surface a migration needs; *backend.Store
-// and *backend.ReplicatedStore both satisfy it.
+// and *backend.ReplicatedStore both satisfy it. Def lets a resumed
+// migration (ResumeLive) create only the families a crash left missing
+// instead of blindly re-creating — and wiping — survivors.
 type Store interface {
 	backend.Installer
 	Drop(name string)
+	Def(name string) (backend.ColumnFamilyDef, error)
 }
 
 // Result reports one executed migration.
