@@ -17,9 +17,11 @@ import (
 	"nose/internal/bip"
 	"nose/internal/cost"
 	"nose/internal/enumerator"
+	"nose/internal/executor"
 	"nose/internal/experiments"
 	"nose/internal/harness"
 	"nose/internal/hotel"
+	"nose/internal/load"
 	"nose/internal/migrate"
 	"nose/internal/planner"
 	"nose/internal/randwork"
@@ -387,6 +389,56 @@ func BenchmarkDualWriteOverhead(b *testing.B) {
 		b.ResetTimer()
 		b.ReportMetric(run(b, sys), "sim-ms/txn")
 	})
+}
+
+// BenchmarkLoadSteadyState measures one steady-state closed-loop load
+// run: 16 clients driving the RUBiS bidding mix at QUORUM over
+// single-server nodes — the load generator's event loop plus the
+// per-node queue accounting, with the advisor run once outside the
+// timer. The sim-side metrics record the measured operating point; the
+// wall-clock ns/op is what the benchdiff gate watches.
+func BenchmarkLoadSteadyState(b *testing.B) {
+	cfg := rubis.Config{Users: 300, Seed: 1}
+	ds, err := rubis.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, txns, err := rubis.Workload(ds.Graph)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec, err := search.Advise(w, benchAdvisorOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var work []load.Transaction
+	for _, txn := range txns {
+		work = append(work, load.Transaction{
+			Name:       txn.Name,
+			Statements: txn.Statements,
+			Weight:     rubis.TransactionWeight(txn, rubis.MixBidding),
+		})
+	}
+	b.ResetTimer()
+	var last *load.Result
+	for i := 0; i < b.N; i++ {
+		sys, err := harness.NewReplicatedSystem("NoSE", ds, rec, cost.DefaultParams(),
+			harness.ReplicationConfig{Read: executor.Quorum, Write: executor.Quorum})
+		if err != nil {
+			b.Fatal(err)
+		}
+		q := sys.EnableQueues(1)
+		ps := rubis.NewParamSource(cfg, 4242)
+		last, err = load.Run(sys, work, ps.Params, q, load.Options{
+			Clients: 16, ThinkMillis: 10, HorizonMillis: 500, WarmupMillis: 50, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(last.ThroughputPerSec, "tx-per-s")
+	b.ReportMetric(last.P99Millis, "p99-ms")
+	b.ReportMetric(last.MaxUtilization, "max-util")
 }
 
 // BenchmarkBudgetSweep is the storage-budget ablation (paper §III-D,

@@ -4,7 +4,7 @@
 // event whose Output fields carry the benchmark lines), so a committed
 // baseline can be produced with:
 //
-//	go test -run '^$' -bench '^(BenchmarkAdvisorRUBiS|BenchmarkAdvisorFormulation|BenchmarkAdvisorSolve|BenchmarkAdvisorLargeRandwork|BenchmarkSimplex|BenchmarkDualWriteOverhead|BenchmarkJournalAppend)$' -benchtime=3x -benchmem -json . ./internal/lp ./internal/journal > BENCH_baseline.json
+//	go test -run '^$' -bench '^(BenchmarkAdvisorRUBiS|BenchmarkAdvisorFormulation|BenchmarkAdvisorSolve|BenchmarkAdvisorLargeRandwork|BenchmarkSimplex|BenchmarkDualWriteOverhead|BenchmarkJournalAppend|BenchmarkLoadSteadyState)$' -benchtime=3x -benchmem -json . ./internal/lp ./internal/journal > BENCH_baseline.json
 //
 // and compared against a fresh run with:
 //
@@ -43,7 +43,7 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline benchmark results (raw text or go test -json)")
 	currentPath := flag.String("current", "", "current benchmark results to compare (raw text or go test -json)")
 	threshold := flag.Float64("threshold", 0.25, "allowed fractional regression in ns/op and allocs/op before failing")
-	gate := flag.String("gate", "AdvisorRUBiS,AdvisorFormulation,AdvisorSolve,AdvisorLargeRandwork,Simplex,DualWriteOverhead,JournalAppend", "comma-separated benchmark names (top level, Benchmark prefix stripped) that fail the run on regression")
+	gate := flag.String("gate", "AdvisorRUBiS,AdvisorFormulation,AdvisorSolve,AdvisorLargeRandwork,Simplex,DualWriteOverhead,JournalAppend,LoadSteadyState", "comma-separated benchmark names (top level, Benchmark prefix stripped) that fail the run on regression")
 	flag.Parse()
 
 	if *currentPath == "" {
@@ -93,7 +93,12 @@ func gateName(name string) string {
 	return name
 }
 
-// diff renders the comparison table and collects gated failures.
+// diff renders the comparison table and collects gated failures. The
+// gate is airtight about absence: a gated benchmark missing from the
+// current run fails (it silently stopped being measured), one missing
+// from the baseline fails (the baseline needs regenerating), and a
+// gate entry matching no benchmark in either set fails (a typo or a
+// deleted benchmark would otherwise disarm the gate forever).
 func diff(base, cur map[string]result, gated map[string]bool, threshold float64) (string, []string) {
 	var b strings.Builder
 	var failures []string
@@ -102,6 +107,7 @@ func diff(base, cur map[string]result, gated map[string]bool, threshold float64)
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	gateSeen := map[string]bool{}
 
 	fmt.Fprintf(&b, "%-40s %15s %15s %8s %10s %6s\n",
 		"benchmark", "old ns/op", "new ns/op", "delta", "allocs", "gated")
@@ -112,6 +118,7 @@ func diff(base, cur map[string]result, gated map[string]bool, threshold float64)
 		mark := ""
 		if isGated {
 			mark = "yes"
+			gateSeen[gateName(name)] = true
 		}
 		if !ok {
 			fmt.Fprintf(&b, "%-40s %15.0f %15s %8s %10s %6s\n", name, old.NsPerOp, "missing", "", "", mark)
@@ -140,6 +147,44 @@ func diff(base, cur map[string]result, gated map[string]bool, threshold float64)
 			failures = append(failures, fmt.Sprintf("%s: allocs/op %+.1f%% (%.0f -> %.0f)",
 				name, allocDelta*100, old.AllocsPerOp, now.AllocsPerOp))
 		}
+	}
+
+	// Benchmarks only the current run knows: report them, and fail any
+	// gated one — a gated benchmark without a committed baseline would
+	// otherwise pass forever unmeasured.
+	var added []string
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		isGated := gated[gateName(name)]
+		mark := ""
+		if isGated {
+			mark = "yes"
+			gateSeen[gateName(name)] = true
+		}
+		fmt.Fprintf(&b, "%-40s %15s %15.0f %8s %10s %6s\n", name, "missing", cur[name].NsPerOp, "", "", mark)
+		if isGated {
+			failures = append(failures,
+				fmt.Sprintf("%s: missing from baseline — regenerate the committed baseline to gate it", name))
+		}
+	}
+
+	// Gate entries matching nothing anywhere: fail loudly instead of
+	// letting a rename or typo disarm the gate.
+	var unseen []string
+	for g := range gated {
+		if !gateSeen[g] {
+			unseen = append(unseen, g)
+		}
+	}
+	sort.Strings(unseen)
+	for _, g := range unseen {
+		failures = append(failures,
+			fmt.Sprintf("%s: gate entry matched no benchmark in baseline or current results", g))
 	}
 	return b.String(), failures
 }

@@ -133,6 +133,58 @@ func TestDiffGating(t *testing.T) {
 	}
 }
 
+func hasFailure(failures []string, substr string) bool {
+	for _, f := range failures {
+		if strings.Contains(f, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDiffMissingFromBaselineFails: a gated benchmark only the current
+// run knows means the committed baseline is stale — fail until it is
+// regenerated, so a newly gated benchmark cannot ride along unmeasured.
+// Ungated current-only benchmarks are reported but informational.
+func TestDiffMissingFromBaselineFails(t *testing.T) {
+	base := map[string]result{"AdvisorRUBiS": {NsPerOp: 100, AllocsPerOp: 10}}
+	cur := map[string]result{
+		"AdvisorRUBiS":    {NsPerOp: 100, AllocsPerOp: 10},
+		"LoadSteadyState": {NsPerOp: 50, AllocsPerOp: 5},
+	}
+	report, failures := diff(base, cur,
+		map[string]bool{"AdvisorRUBiS": true, "LoadSteadyState": true}, 0.25)
+	if !hasFailure(failures, "LoadSteadyState: missing from baseline") {
+		t.Errorf("gated benchmark absent from baseline not flagged: %v", failures)
+	}
+	if !strings.Contains(report, "LoadSteadyState") {
+		t.Errorf("current-only benchmark missing from report:\n%s", report)
+	}
+	_, failures = diff(base, cur, map[string]bool{"AdvisorRUBiS": true}, 0.25)
+	if len(failures) != 0 {
+		t.Errorf("ungated current-only benchmark failed the gate: %v", failures)
+	}
+}
+
+// TestDiffGateEntryMatchingNothingFails: a gate name absent from both
+// sets (a typo, or a renamed or deleted benchmark) must fail rather
+// than silently disarm the gate forever.
+func TestDiffGateEntryMatchingNothingFails(t *testing.T) {
+	base := map[string]result{"AdvisorRUBiS": {NsPerOp: 100, AllocsPerOp: 10}}
+	cur := map[string]result{"AdvisorRUBiS": {NsPerOp: 100, AllocsPerOp: 10}}
+	_, failures := diff(base, cur, map[string]bool{"AdvisorRUBiS": true, "Ghost": true}, 0.25)
+	if !hasFailure(failures, "Ghost: gate entry matched no benchmark") {
+		t.Errorf("dangling gate entry not flagged: %v", failures)
+	}
+	// Matching on either side (here: only the baseline, where it fails
+	// as missing-from-current) counts as seen — exactly one failure.
+	base["Solo"] = result{NsPerOp: 1, AllocsPerOp: 1}
+	_, failures = diff(base, cur, map[string]bool{"AdvisorRUBiS": true, "Solo": true}, 0.25)
+	if !hasFailure(failures, "Solo: missing from current") || hasFailure(failures, "matched no benchmark") {
+		t.Errorf("baseline-only gated benchmark misclassified: %v", failures)
+	}
+}
+
 func TestGateName(t *testing.T) {
 	if gateName("AdvisorSolve/workers=4") != "AdvisorSolve" {
 		t.Error("sub-benchmark gate name")

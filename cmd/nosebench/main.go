@@ -7,6 +7,7 @@
 //	nosebench -experiment chaos [-faults 0,0.005,0.02,0.05] [-seed 7]
 //	nosebench -experiment quorum [-faults 0,0.02,0.05,0.1] [-seed 7] [-nodes 5] [-rf 3]
 //	nosebench -experiment crashchaos [-faults 0,0.02] [-seed 7] [-nodes 5] [-rf 3]
+//	nosebench -experiment load [-clients 1,2,4,8,16,32,64] [-capacity 1] [-think 10] [-horizon 2000] [-seed 7] [-nodes 5] [-rf 3]
 //	nosebench -experiment drift [-drift 0,0.25,0.5,1] [-phases 4] [-seed 7]
 //	nosebench -experiment online [-drift 0,0.25,0.5,1] [-phases 4] [-seed 7] [-fault-rate 0.02] [-penalty 10] [-drift-window 40] [-drift-confirm 2]
 //
@@ -23,7 +24,11 @@
 // degradation of the three schemas under injected store faults.
 // Quorum: the availability/consistency trade of the NoSE schema on a
 // replicated cluster (ONE/QUORUM/ALL, hedged reads, hinted handoff,
-// read repair) under node-level faults. Crashchaos: the crash-recovery
+// read repair) under node-level faults. Load: the closed-loop
+// latency-under-load sweep — per-node FIFO service queues, a client
+// population swept to saturation, one throughput vs p50/p99 curve per
+// consistency level plus the measured capacity table (knee point,
+// saturation throughput). Crashchaos: the crash-recovery
 // sweep — a hotel-workload live migration crashed at every journal
 // append index per (consistency level, node fault rate) cell and
 // recovered from the durable journal, plus coordinator crashes inside
@@ -60,7 +65,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig11", "fig11, fig12, fig13, budget, ablation, chaos, quorum, crashchaos, drift or online")
+	experiment := flag.String("experiment", "fig11", "fig11, fig12, fig13, budget, ablation, chaos, quorum, load, crashchaos, drift or online")
 	users := flag.Int("users", 20_000, "RUBiS users (the paper used 200000)")
 	executions := flag.Int("executions", 50, "measured executions per transaction type")
 	factors := flag.Int("factors", 4, "max scale factor for fig13 (the paper used 10; factors above 3 can take tens of minutes with the built-in solver)")
@@ -72,6 +77,10 @@ func main() {
 	seed := flag.Int64("seed", 7, "seed for the chaos, quorum, crashchaos, drift and online experiments; the same seed reproduces a table bit for bit")
 	nodes := flag.Int("nodes", 5, "cluster size for the quorum and crashchaos experiments")
 	rf := flag.Int("rf", 3, "replication factor for the quorum and crashchaos experiments")
+	clients := flag.String("clients", "", "comma-separated closed-loop client populations for the load experiment; empty means 1,2,4,8,16,32,64")
+	capacity := flag.Int("capacity", experiments.DefaultLoadCapacity, "parallel servers per node for the load experiment's service queues")
+	think := flag.Float64("think", experiments.DefaultLoadThinkMillis, "mean client think time in simulated ms for the load experiment")
+	horizon := flag.Float64("horizon", experiments.DefaultLoadHorizonMillis, "simulated duration of each load cell in ms (first tenth is warmup)")
 	driftRates := flag.String("drift", "", "comma-separated drift rates in [0,1] for the drift and online experiments")
 	phases := flag.Int("phases", experiments.DefaultDriftPhases, "workload phases for the drift and online experiments")
 	faultRate := flag.Float64("fault-rate", experiments.DefaultOnlineFaultRate, "node fault rate for the online experiment's faulted rows; 0 skips them")
@@ -198,6 +207,26 @@ func main() {
 		}
 		fmt.Println("Quorum — availability/consistency sweep on a replicated cluster (NoSE schema, bidding workload)")
 		fmt.Print(res.Format())
+	case "load":
+		populations, err := parseCounts(*clients)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := experiments.RunLoad(experiments.LoadConfig{
+			Base:          cfg,
+			Clients:       populations,
+			Capacity:      *capacity,
+			Nodes:         *nodes,
+			RF:            *rf,
+			Seed:          *seed,
+			ThinkMillis:   *think,
+			HorizonMillis: *horizon,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Load — closed-loop latency under load with per-node service queues (NoSE schema, bidding workload)")
+		fmt.Print(res.Format())
 	case "crashchaos":
 		rates, err := parseRates(*faultRates)
 		if err != nil {
@@ -288,6 +317,26 @@ func parseRates(s string) ([]float64, error) {
 		rates = append(rates, r)
 	}
 	return rates, nil
+}
+
+// parseCounts parses a comma-separated list of positive integers (the
+// load experiment's client populations); empty means the default sweep.
+func parseCounts(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var counts []int
+	for _, field := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil {
+			return nil, fmt.Errorf("bad count %q: %w", field, err)
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("count %d must be positive", n)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
 }
 
 // writeObservability flushes the run's metrics snapshot and Chrome

@@ -182,6 +182,7 @@ type Coordinator struct {
 	mu      sync.Mutex
 	nodes   *faults.Nodes
 	crashes *faults.Crashes
+	queues  *backend.NodeQueues
 	hints   map[hintKey][]hint
 	stats   ReplicaStats
 	co      coordObs
@@ -253,6 +254,46 @@ func (c *Coordinator) SetCrashes(cr *faults.Crashes) {
 	c.mu.Lock()
 	c.crashes = cr
 	c.mu.Unlock()
+}
+
+// SetQueues attaches per-node FIFO service queues: every foreground
+// replica operation (the gets, puts and deletes issued on behalf of
+// statements, hedges included) is admitted to its node's queue and the
+// wait for a free server is charged into the operation's simulated
+// time on top of its service time. A node whose queue has zero
+// capacity refuses operations; the coordinator treats the refusal
+// exactly like a downed replica, so it degrades the consistency level
+// and, when too many replicas refuse, the coordinated operation fails
+// Unavailable. Hint replays (handoff, read repair) are not queued —
+// they model background anti-entropy riding on an already-admitted
+// contact. Pass nil to detach.
+func (c *Coordinator) SetQueues(q *backend.NodeQueues) {
+	c.mu.Lock()
+	c.queues = q
+	c.mu.Unlock()
+}
+
+// admit charges one replica operation's service time to its node's
+// queue, returning the queue delay to add to the operation's time.
+// Without queues attached there is no contention and the delay is
+// zero. Callers hold c.mu.
+func (c *Coordinator) admit(node int, service float64) float64 {
+	if c.queues == nil {
+		return 0
+	}
+	delay, err := c.queues.Admit(node, service)
+	if err != nil {
+		// Zero capacity is screened with refused() before the replica
+		// op runs; any other admission failure cannot happen.
+		return 0
+	}
+	return delay
+}
+
+// refused reports whether a node's queue refuses service outright
+// (zero capacity). Callers hold c.mu.
+func (c *Coordinator) refused(node int) bool {
+	return c.queues != nil && c.queues.Capacity(node) == 0
 }
 
 // Stats returns a snapshot of the coordination counters.
@@ -330,6 +371,12 @@ func (c *Coordinator) Get(name string, req backend.GetRequest) (*backend.GetResu
 			idx++
 			c.stats.ReplicaReads++
 			c.co.replicaReads.Inc()
+			if c.refused(node) {
+				// A zero-capacity node can never start the work: same
+				// outcome as a downed replica, no time wasted waiting.
+				sawDown = true
+				continue
+			}
 			fe, factor := c.decide(node, name, "get")
 			if fe != nil {
 				t += fe.SimMillis
@@ -342,7 +389,8 @@ func (c *Coordinator) Get(name string, req backend.GetRequest) (*backend.GetResu
 			if err != nil {
 				return nil, err
 			}
-			t += res.SimMillis * factor
+			service := res.SimMillis * factor
+			t += c.admit(node, service) + service
 			contacts = append(contacts, contact{node: node, res: res, millis: t})
 			filled = true
 			break
@@ -368,7 +416,7 @@ func (c *Coordinator) Get(name string, req backend.GetRequest) (*backend.GetResu
 
 	// Hedge: if the critical path is slow and a spare replica remains,
 	// race it against the slow slot and keep the faster answer.
-	if c.hedge.Enabled && latency > c.hedge.DelayMillis && idx < len(replicas) {
+	if c.hedge.Enabled && latency > c.hedge.DelayMillis && idx < len(replicas) && !c.refused(replicas[idx]) {
 		node := replicas[idx]
 		idx++
 		c.stats.Hedges++
@@ -381,7 +429,8 @@ func (c *Coordinator) Get(name string, req backend.GetRequest) (*backend.GetResu
 			if err != nil {
 				return nil, err
 			}
-			hedged := c.hedge.DelayMillis + res.SimMillis*factor
+			service := res.SimMillis * factor
+			hedged := c.hedge.DelayMillis + c.admit(node, service) + service
 			if hedged < latency {
 				contacts[slowest] = contact{node: node, res: res, millis: hedged}
 				c.stats.HedgeWins++
@@ -477,6 +526,18 @@ func (c *Coordinator) applyWrite(name string, partition, clustering []backend.Va
 	for _, node := range replicas {
 		c.stats.ReplicaWrites++
 		c.co.replicaWrites.Inc()
+		if c.refused(node) {
+			// Zero service capacity: the replica misses the write, like
+			// a downed node, and converges later via hinted handoff.
+			sawDown = true
+			k := hintKey{node: node, cf: name, part: pk}
+			c.hints[k] = append(c.hints[k], hint{
+				partition: partition, clustering: clustering, values: values, delete: del,
+			})
+			c.stats.HintsQueued++
+			c.co.hintsQueued.Inc()
+			continue
+		}
 		fe, factor := c.decide(node, name, op)
 		if fe != nil {
 			if fe.Kind == faults.Unavailable {
@@ -516,13 +577,15 @@ func (c *Coordinator) applyWrite(name string, partition, clustering []backend.Va
 				return false, nil, derr
 			}
 			existed = existed || ex
-			t += pr.SimMillis * factor
+			service := pr.SimMillis * factor
+			t += c.admit(node, service) + service
 		} else {
 			pr, perr := c.repl.Node(node).Put(name, partition, clustering, values)
 			if perr != nil {
 				return false, nil, perr
 			}
-			t += pr.SimMillis * factor
+			service := pr.SimMillis * factor
+			t += c.admit(node, service) + service
 		}
 		ackTimes = append(ackTimes, t)
 	}

@@ -1,0 +1,72 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"nose/internal/experiments"
+	"nose/internal/rubis"
+)
+
+func loadTestConfig(workers int) experiments.LoadConfig {
+	opts := fastOptions()
+	opts.Workers = workers
+	return experiments.LoadConfig{
+		Base: experiments.Fig11Config{
+			RUBiS:   rubis.Config{Users: 300, Seed: 1},
+			Advisor: opts,
+		},
+		Clients:       []int{1, 4, 16},
+		Seed:          7,
+		HorizonMillis: 300,
+	}
+}
+
+// TestRunLoadDeterministicSweep: the load sweep must reproduce bit for
+// bit from its config and seed, and be byte-identical at any advisor
+// worker count — its Format output is the fingerprint the CI
+// determinism smoke compares. The sweep must also show the queueing
+// shape: tail latency grows with the client population on every curve.
+func TestRunLoadDeterministicSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow")
+	}
+	w1, err := experiments.RunLoad(loadTestConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w4, err := experiments.RunLoad(loadTestConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, f4 := w1.Format(), w4.Format()
+	if f1 != f4 {
+		t.Fatalf("load sweep differs across worker counts:\nworkers=1:\n%s\nworkers=4:\n%s", f1, f4)
+	}
+	if !strings.Contains(f1, "Capacity — knee") {
+		t.Fatalf("format missing capacity table:\n%s", f1)
+	}
+
+	if len(w1.Curves) != len(experiments.DefaultQuorumLevels) {
+		t.Fatalf("got %d curves, want one per level", len(w1.Curves))
+	}
+	for _, curve := range w1.Curves {
+		if len(curve.Cells) != 3 {
+			t.Fatalf("%s: %d cells, want 3", curve.Level, len(curve.Cells))
+		}
+		first, last := curve.Cells[0], curve.Cells[len(curve.Cells)-1]
+		if first.Completed == 0 || last.Completed == 0 {
+			t.Errorf("%s: empty cells: %+v", curve.Level, curve.Cells)
+		}
+		if last.P99Millis <= first.P99Millis {
+			t.Errorf("%s: p99 flat under load: %.3fms at %d clients vs %.3fms at %d",
+				curve.Level, first.P99Millis, first.Clients, last.P99Millis, last.Clients)
+		}
+		if last.QueueDelayMillis <= 0 {
+			t.Errorf("%s: no queue delay at %d clients", curve.Level, last.Clients)
+		}
+		if curve.SaturationPerSec <= 0 {
+			t.Errorf("%s: no saturation throughput measured", curve.Level)
+		}
+	}
+}

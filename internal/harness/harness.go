@@ -439,6 +439,23 @@ func (s *System) EnableNodeFaults(seed int64, def faults.NodeProfile, policy exe
 	return ns
 }
 
+// EnableQueues attaches per-node FIFO service queues with the given
+// per-node capacity (parallel servers) to a replicated system's
+// coordinator and returns them. Once attached, every replica-level
+// operation is charged its queue delay into statement SimMillis on top
+// of service cost; a driver (internal/load) advances the queues'
+// arrival clock with NodeQueues.SetNow per statement. Panics on a
+// single-store system — service contention is modeled per node.
+func (s *System) EnableQueues(capacity int) *backend.NodeQueues {
+	if s.Repl == nil || s.Coord == nil {
+		panic("harness: EnableQueues on a non-replicated system; use NewReplicatedSystem")
+	}
+	q := backend.NewNodeQueues(s.Repl.NodeCount(), capacity)
+	q.SetObs(s.reg)
+	s.Coord.SetQueues(q)
+	return q
+}
+
 // innerBackend is the layer statement execution sits on: the verifier
 // tap when one is attached (so every acknowledgement below retries and
 // injected weather is recorded), else the coordinator (replicated) or
