@@ -4,9 +4,14 @@
 //   - every relative markdown link in the checked documents must
 //     resolve to an existing file (external http(s) links and pure
 //     anchors are skipped);
-//   - every CLI flag defined in cmd/nose and cmd/nosebench must appear
-//     in the README's flag tables as `-name`, so a new flag cannot
-//     ship undocumented.
+//   - every CLI flag defined in cmd/nose, cmd/nosebench and cmd/nosed
+//     must appear in the README's flag tables as `-name`, so a new flag
+//     cannot ship undocumented;
+//   - every HTTP route the nosed daemon registers
+//     (internal/service.Routes) must appear in docs/API.md as
+//     `METHOD /path`, and every `METHOD /path` code span in docs/API.md
+//     must name a registered route — the API reference can neither lag
+//     the server nor document ghosts.
 //
 // Usage (from the repository root):
 //
@@ -23,13 +28,16 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+
+	"nose/internal/service"
 )
 
 func main() {
-	docs := flag.String("docs", "README.md,DESIGN.md,EXPERIMENTS.md,ROADMAP.md",
+	docs := flag.String("docs", "README.md,DESIGN.md,EXPERIMENTS.md,ROADMAP.md,docs/API.md",
 		"comma-separated markdown files whose relative links must resolve")
 	readme := flag.String("readme", "README.md", "document that must mention every CLI flag")
-	cmds := flag.String("cmds", "cmd/nose,cmd/nosebench", "comma-separated command directories whose flags must be documented")
+	cmds := flag.String("cmds", "cmd/nose,cmd/nosebench,cmd/nosed", "comma-separated command directories whose flags must be documented")
+	apiDoc := flag.String("api", "docs/API.md", "endpoint reference that must document every nosed route; empty disables the route guard")
 	flag.Parse()
 
 	var violations []string
@@ -55,6 +63,14 @@ func main() {
 			continue
 		}
 		v, err := checkFlags(dir, *readme, string(readmeText))
+		if err != nil {
+			fatal(err)
+		}
+		violations = append(violations, v...)
+	}
+
+	if *apiDoc != "" {
+		v, err := checkRoutes(*apiDoc)
 		if err != nil {
 			fatal(err)
 		}
@@ -134,6 +150,45 @@ func checkFlags(dir, readmeName, readme string) ([]string, error) {
 					fmt.Sprintf("%s defines flag -%s, absent from %s (add a `-%s` row to its flag table)",
 						dir, name, readmeName, name))
 			}
+		}
+	}
+	return violations, nil
+}
+
+// routeRe matches backticked route spans in the API reference:
+// `GET /v1/jobs/{id}`.
+var routeRe = regexp.MustCompile("`(GET|POST|PUT|DELETE|PATCH) (/[^`]*)`")
+
+// checkRoutes verifies the API reference and the daemon's registered
+// route table (internal/service.Routes) agree in both directions:
+// every registered route is documented, and every documented route is
+// registered.
+func checkRoutes(doc string) ([]string, error) {
+	data, err := os.ReadFile(doc)
+	if err != nil {
+		return nil, err
+	}
+	registered := map[string]bool{}
+	for _, r := range service.Routes {
+		registered[r.Method+" "+r.Pattern] = false
+	}
+	var violations []string
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range routeRe.FindAllStringSubmatch(line, -1) {
+			key := m[1] + " " + m[2]
+			if _, ok := registered[key]; !ok {
+				violations = append(violations,
+					fmt.Sprintf("%s:%d: documents route %q, which nosed does not register", doc, i+1, key))
+				continue
+			}
+			registered[key] = true
+		}
+	}
+	for _, r := range service.Routes {
+		if !registered[r.Method+" "+r.Pattern] {
+			violations = append(violations,
+				fmt.Sprintf("nosed registers %s %s, absent from %s (add a `%s %s` section)",
+					r.Method, r.Pattern, doc, r.Method, r.Pattern))
 		}
 	}
 	return violations, nil

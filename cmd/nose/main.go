@@ -5,7 +5,13 @@
 //
 // Usage:
 //
-//	nose -in workload.nose [-space bytes] [-mix name] [-max-plans n] [-workers n] [-phases] [-faults] [-rf n] [-drift-report] [-v]
+//	nose -in workload.nose [-space bytes] [-mix name] [-max-plans n] [-workers n] [-phases] [-faults] [-rf n] [-drift-report] [-json] [-v]
+//
+// With -json the recommendation (or, with -phases, the schema series)
+// is printed as canonical JSON in the nosed wire format
+// (internal/service/api) instead of the human-readable report. The
+// bytes are deterministic and identical to what the nosed daemon
+// serves for the same request — CI diffs the two.
 //
 // With -phases (and a workload whose .nose file declares phase blocks)
 // the advisor solves the time-dependent problem instead: one schema per
@@ -41,6 +47,7 @@ import (
 	"nose/internal/obs"
 	"nose/internal/planner"
 	"nose/internal/search"
+	"nose/internal/service/api"
 	"nose/internal/workload"
 )
 
@@ -54,6 +61,7 @@ func main() {
 	faultsReport := flag.Bool("faults", false, "print each query's failover readiness (executable alternative plans)")
 	driftReport := flag.Bool("drift-report", false, "print each declared mix's divergence from the active mix and the schema migration it would require")
 	rf := flag.Int("rf", 0, "with -faults: also print node-failure tolerance for a replicated deployment at this replication factor")
+	jsonOut := flag.Bool("json", false, "print the recommendation as canonical JSON (the nosed wire format; byte-identical to the daemon's result for the same request)")
 	verbose := flag.Bool("v", false, "print update maintenance plans and timings")
 	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot of the advisor run to this file and print a summary")
 	solverStats := flag.Bool("solver-stats", false, "print LP solver statistics after the run: solves, warm-start hit rate, pivots, refactorizations, pruning and cuts")
@@ -98,6 +106,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *jsonOut {
+			data, err := api.Encode(api.Series(w, series))
+			if err != nil {
+				fatal(err)
+			}
+			os.Stdout.Write(data)
+			writeObservability(*metricsPath, reg, *tracePath, tracer, *solverStats)
+			return
+		}
 		fmt.Printf("Schema series (%d phases):\n\n", len(series.Phases))
 		fmt.Print(series.Format())
 		if *verbose {
@@ -115,6 +132,16 @@ func main() {
 	rec, err := search.Advise(w, opts)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *jsonOut {
+		data, err := api.Encode(api.Advise(w, rec))
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(data)
+		writeObservability(*metricsPath, reg, *tracePath, tracer, *solverStats)
+		return
 	}
 
 	fmt.Printf("Recommended schema (%d column families, %.1f MB estimated):\n\n",

@@ -1,0 +1,90 @@
+// Command nosed is the advisor daemon: a long-running HTTP/JSON
+// service exposing advise, advise-series, drift-report and simulate as
+// asynchronous jobs over the same engine the CLIs use.
+//
+// Usage:
+//
+//	nosed [-addr host:port] [-max-sessions n] [-drain-timeout d]
+//
+// Submit a job by POSTing the workload DSL, poll it, fetch its result:
+//
+//	curl -s -X POST --data-binary @testdata/hotel.nose \
+//	    'http://localhost:8642/v1/jobs?kind=advise&wait=1'
+//	curl -s http://localhost:8642/v1/jobs/job-1/result
+//
+// The result document is byte-identical to `nose -json` output for the
+// same DSL and knobs — the daemon and the CLI share one canonical
+// encoder and a worker-count-invariant advisor. DELETE cancels a
+// running job within one branch-and-bound batch boundary; the
+// /v1/jobs/{id}/events endpoint streams lifecycle and trace events as
+// NDJSON (or SSE with Accept: text/event-stream). See docs/API.md for
+// the full endpoint reference.
+//
+// On SIGINT or SIGTERM the daemon stops accepting jobs and drains
+// in-flight solves for up to -drain-timeout before aborting them via
+// their contexts; a second signal aborts immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nose/internal/obs"
+	"nose/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8642", "listen address")
+	maxSessions := flag.Int("max-sessions", service.DefaultMaxSessions, "concurrent advisor sessions; further jobs queue")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs before aborting them")
+	metricsDump := flag.Bool("metrics-dump", false, "print the server metrics snapshot on exit")
+	flag.Parse()
+
+	manager := service.NewManager(service.Config{MaxSessions: *maxSessions})
+	reg := obs.NewRegistry()
+	srv := &http.Server{Addr: *addr, Handler: service.NewServer(manager, reg)}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "nosed: listening on %s (max %d sessions)\n", *addr, *maxSessions)
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "nosed: %v: draining (up to %v; signal again to abort)\n", s, *drainTimeout)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "nosed: aborting in-flight jobs")
+		cancel()
+	}()
+	// Stop the listener first so no new jobs arrive, then drain or
+	// abort the job manager.
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "nosed: shutdown:", err)
+	}
+	manager.Shutdown(drainCtx)
+	cancel()
+
+	if *metricsDump {
+		fmt.Print(reg.Snapshot().Format())
+	}
+	fmt.Fprintln(os.Stderr, "nosed: stopped")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nosed:", err)
+	os.Exit(1)
+}

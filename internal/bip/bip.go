@@ -23,6 +23,7 @@
 package bip
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -123,6 +124,13 @@ type Options struct {
 	// worker-count invariant: the explored tree is, and LP work sums
 	// commute across the per-worker solvers.
 	Obs *obs.Registry
+	// Ctx, when non-nil, cancels the search: Solve checks it once per
+	// node batch — before popping the batch's nodes — and returns
+	// Ctx.Err() (so errors.Is sees context.Canceled or
+	// DeadlineExceeded). Cancellation never returns a partial result;
+	// a batch already in flight runs to completion first, bounding
+	// cancel latency to one batch of LP re-solves.
+	Ctx context.Context
 }
 
 // DefaultMaxNodes bounds the search when Options leaves MaxNodes zero.
@@ -232,7 +240,13 @@ func (h *nodeHeap) pop() *node {
 }
 
 // Solve runs branch and bound and returns the best integer solution.
+// When Options.Ctx is cancelled the search stops at the next batch
+// boundary and returns the context's error.
 func (p *Program) Solve(opt Options) (*Result, error) {
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	maxNodes := opt.MaxNodes
 	if maxNodes <= 0 {
 		maxNodes = DefaultMaxNodes
@@ -349,6 +363,10 @@ func (p *Program) Solve(opt Options) (*Result, error) {
 		open.push(&node{bound: bound, seq: seq, fixes: fixes, basis: from})
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
 	// Validate and adopt the seeded incumbent, if any.
 	if len(opt.Incumbent) == p.NumCols() {
 		fixes := make([]fix, 0, len(p.binary))
@@ -407,6 +425,9 @@ func (p *Program) Solve(opt Options) (*Result, error) {
 	batch := make([]batchItem, 0, batchWidth)
 
 	for round := 0; open.len() > 0; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if res.Nodes >= maxNodes {
 			res.Status = NodeLimit
 			break

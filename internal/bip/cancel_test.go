@@ -1,0 +1,104 @@
+package bip
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"nose/internal/lp"
+	"nose/internal/obs"
+)
+
+// hardKnapsack builds a strongly correlated multi-dimensional knapsack:
+// minimize -v·x subject to three weight rows. Profit/weight ratios are
+// nearly uniform, so LP bounds are weak and branch and bound explores a
+// deep tree — long enough to cancel mid-search.
+func hardKnapsack(n int) *Program {
+	p := New()
+	rows := [3]int{}
+	caps := [3]float64{}
+	for r := range rows {
+		// Odd, non-divisible capacities keep the relaxation fractional.
+		caps[r] = float64(n*60+7*(r+1)) / 1.3
+		rows[r] = p.AddRow(0, caps[r])
+	}
+	for i := 0; i < n; i++ {
+		w0 := float64(100 + (i*37)%50)
+		w1 := float64(90 + (i*53)%60)
+		w2 := float64(110 + (i*71)%40)
+		v := w0 + w1 + w2 + float64(10+(i*13)%7)
+		p.AddBinary(-v,
+			lp.Entry{Row: rows[0], Coef: w0},
+			lp.Entry{Row: rows[1], Coef: w1},
+			lp.Entry{Row: rows[2], Coef: w2})
+	}
+	return p
+}
+
+func TestSolveCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := hardKnapsack(20).Solve(Options{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSolveCancelMidSearch pins the acceptance contract: cancelling the
+// context while branch and bound is running makes Solve return at the
+// next batch boundary — promptly, without draining the node budget.
+func TestSolveCancelMidSearch(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := hardKnapsack(60).Solve(Options{
+			MaxNodes: 50_000_000, // cancellation, not the node limit, must stop it
+			Workers:  2,
+			Obs:      reg,
+			Ctx:      ctx,
+		})
+		done <- outcome{res, err}
+	}()
+
+	// Wait until the search is demonstrably inside branch and bound
+	// (nodes are being explored), then cancel.
+	nodes := reg.Counter("bip.nodes")
+	deadline := time.Now().Add(30 * time.Second)
+	for nodes.Value() < 64 {
+		if time.Now().After(deadline) {
+			t.Fatal("branch and bound never started exploring nodes")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+
+	select {
+	case out := <-done:
+		if !errors.Is(out.err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", out.err)
+		}
+		if out.res != nil {
+			t.Fatalf("cancelled solve returned a partial result: %+v", out.res)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Solve did not return within 30s of cancellation; batch-boundary check missing")
+	}
+}
+
+// TestSolveDeadline covers the timer-driven variant of the same path.
+func TestSolveDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := hardKnapsack(60).Solve(Options{MaxNodes: 50_000_000, Ctx: ctx})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}

@@ -1,6 +1,8 @@
 package enumerator
 
 import (
+	"context"
+
 	"nose/internal/obs"
 	"nose/internal/par"
 	"nose/internal/schema"
@@ -63,6 +65,15 @@ func EnumerateWorkloadParallel(w *workload.Workload, feats Features, workers int
 // enumerated, and the merged pool is byte-identical at every worker
 // count.
 func EnumerateWorkloadObs(w *workload.Workload, feats Features, workers int, r *obs.Registry) (*Result, error) {
+	return EnumerateWorkloadCtx(context.Background(), w, feats, workers, r)
+}
+
+// EnumerateWorkloadCtx is EnumerateWorkloadObs with cancellation: the
+// context is checked before each fan-out batch (per-query enumeration
+// and every support sweep) and inside each batch item, so a cancelled
+// enumeration returns ctx.Err() promptly instead of finishing the
+// exponential candidate generation. A partial pool is never returned.
+func EnumerateWorkloadCtx(ctx context.Context, w *workload.Workload, feats Features, workers int, r *obs.Registry) (*Result, error) {
 	pool := NewPool()
 	pool.feats = feats
 	emittedC := r.Counter("enum.candidates_emitted")
@@ -71,11 +82,17 @@ func EnumerateWorkloadObs(w *workload.Workload, feats Features, workers int, r *
 	locals := make([]*Pool, len(queries))
 	errs := make([]error, len(queries))
 	par.Do(len(queries), workers, func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
 		local := NewPool()
 		local.feats = feats
 		errs[i] = EnumerateQuery(local, queries[i].Statement.(*workload.Query))
 		locals[i] = local
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	r.Counter("enum.queries").Add(int64(len(queries)))
 	for i := range queries {
 		if errs[i] != nil {
@@ -105,6 +122,9 @@ func EnumerateWorkloadObs(w *workload.Workload, feats Features, workers int, r *
 	var items []*supportItem
 	for pass := 0; pass < 2; pass++ {
 		for _, ws := range w.Updates() {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			u := ws.Statement.(workload.WriteStatement)
 			perIndex := res.Support[u]
 			if perIndex == nil {
@@ -122,6 +142,9 @@ func EnumerateWorkloadObs(w *workload.Workload, feats Features, workers int, r *
 				items = append(items, &supportItem{x: x})
 			}
 			par.Do(len(items), workers, func(i int) {
+				if ctx.Err() != nil {
+					return
+				}
 				it := items[i]
 				it.sqs = SupportQueries(u, it.x)
 				it.pool = NewPool()
@@ -133,6 +156,9 @@ func EnumerateWorkloadObs(w *workload.Workload, feats Features, workers int, r *
 					_ = EnumerateQuery(it.pool, sq)
 				}
 			})
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			for _, it := range items {
 				perIndex[it.x.ID()] = it.sqs
 				r.Counter("enum.support_queries").Add(int64(len(it.sqs)))

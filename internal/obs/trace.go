@@ -149,6 +149,54 @@ func (t *Tracer) Len() int {
 	return len(t.events)
 }
 
+// TraceEvent is the exported view of one recorded trace event, used by
+// consumers that replay a tracer incrementally (the nosed streaming
+// endpoint) rather than writing a whole Chrome trace file. Ts and Dur
+// are microseconds. Wall indicates the wall-clock process (advisor
+// spans); otherwise the event is on the simulated timeline.
+type TraceEvent struct {
+	// Name is the span or event name.
+	Name string `json:"name"`
+	// Cat is the event category.
+	Cat string `json:"cat,omitempty"`
+	// Tid is the thread lane.
+	Tid int `json:"tid"`
+	// Ts is the start timestamp in microseconds.
+	Ts float64 `json:"ts"`
+	// Dur is the duration in microseconds.
+	Dur float64 `json:"dur,omitempty"`
+	// Wall is true for wall-clock spans, false for sim-clock events.
+	Wall bool `json:"wall"`
+	// Args carries the span's attached key/values.
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// EventsSince returns the events recorded at index since or later, plus
+// the next cursor (pass it back to resume where this call stopped).
+// Events are returned in record order, so replaying from cursor zero
+// yields the full history; a nil tracer always returns an empty slice.
+func (t *Tracer) EventsSince(since int) ([]TraceEvent, int) {
+	if t == nil {
+		return nil, since
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if since < 0 {
+		since = 0
+	}
+	if since >= len(t.events) {
+		return nil, len(t.events)
+	}
+	out := make([]TraceEvent, 0, len(t.events)-since)
+	for _, e := range t.events[since:] {
+		out = append(out, TraceEvent{
+			Name: e.Name, Cat: e.Cat, Tid: e.Tid,
+			Ts: e.Ts, Dur: e.Dur, Wall: e.Pid == WallPID, Args: e.Args,
+		})
+	}
+	return out, len(t.events)
+}
+
 // Dropped returns the number of events discarded over the cap.
 func (t *Tracer) Dropped() int64 {
 	if t == nil {

@@ -102,6 +102,13 @@ func newBuilder(w *workload.Workload, pl *planner.Planner, enumRes *enumerator.R
 	qblocks := make([]*queryBlock, len(qws))
 	qerrs := make([]error, len(qws))
 	par.Do(len(qws), workers, func(i int) {
+		// The plan-space fan-out is the advisor's costing hot loop;
+		// checking the context per item keeps a cancelled solve from
+		// planning the rest of the workload.
+		if err := opt.Ctx.Err(); err != nil {
+			qerrs[i] = err
+			return
+		}
 		q := qws[i].Statement.(*workload.Query)
 		space, err := pl.PlanQuery(q)
 		if err != nil {
@@ -122,6 +129,10 @@ func newBuilder(w *workload.Workload, pl *planner.Planner, enumRes *enumerator.R
 	umaints := make([]map[string]float64, len(uws))
 	uerrs := make([]error, len(uws))
 	par.Do(len(uws), workers, func(i int) {
+		if err := opt.Ctx.Err(); err != nil {
+			uerrs[i] = err
+			return
+		}
 		ublocks[i], umaints[i], uerrs[i] = b.buildUpdateBlock(uws[i], enumRes)
 	})
 	for i := range uws {

@@ -7,6 +7,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -52,6 +53,16 @@ type Options struct {
 	// phase boundaries; the zero value means
 	// migrate.DefaultCostParams(). Ignored by Advise.
 	Migration migrate.CostParams
+	// Ctx, when non-nil, cancels an in-flight advise: it is checked at
+	// every enumeration batch, at each plan-space fan-out item, and at
+	// every branch-and-bound batch boundary, so Advise and AdviseSeries
+	// return Ctx.Err() promptly (errors.Is recognizes context.Canceled
+	// / DeadlineExceeded) instead of finishing the solve. Cancellation
+	// is clean: no partial recommendation is returned, and a shared
+	// cost cache (Planner.Cache) remains valid for later runs — the
+	// cache only ever holds completed estimates. Nil means
+	// context.Background() (never cancelled).
+	Ctx context.Context
 	// Obs, when non-nil, receives pipeline metrics: deterministic
 	// search.*/enum.*/bip.*/lp.* counters, wall-clock stage gauges, and
 	// volatile cost-cache counters. Nil disables metrics at no cost.
@@ -155,6 +166,10 @@ func (opt Options) withDefaults() Options {
 	opt.Workers = par.Workers(opt.Workers)
 	opt.BIP.Workers = opt.Workers
 	opt.BIP.Obs = opt.Obs
+	if opt.Ctx == nil {
+		opt.Ctx = context.Background()
+	}
+	opt.BIP.Ctx = opt.Ctx
 	if opt.Planner.Cache == nil {
 		opt.Planner.Cache = cost.NewCache()
 	}
@@ -175,7 +190,7 @@ func Advise(w *workload.Workload, opt Options) (*Recommendation, error) {
 	// Candidate enumeration (Algorithm 1).
 	t := time.Now()
 	sp := opt.Trace.Begin("enumerate", "advisor")
-	enumRes, err := enumerator.EnumerateWorkloadObs(w, opt.Enumerator, opt.Workers, opt.Obs)
+	enumRes, err := enumerator.EnumerateWorkloadCtx(opt.Ctx, w, opt.Enumerator, opt.Workers, opt.Obs)
 	if err != nil {
 		return nil, err
 	}

@@ -106,7 +106,7 @@ func AdviseSeries(w *workload.Workload, opt Options) (*SeriesRecommendation, err
 	t0 := time.Now()
 	sp := opt.Trace.Begin("enumerate", "advisor")
 	union := unionWorkload(w)
-	enumRes, err := enumerator.EnumerateWorkloadObs(union, opt.Enumerator, opt.Workers, opt.Obs)
+	enumRes, err := enumerator.EnumerateWorkloadCtx(opt.Ctx, union, opt.Enumerator, opt.Workers, opt.Obs)
 	if err != nil {
 		return nil, err
 	}
@@ -123,6 +123,9 @@ func AdviseSeries(w *workload.Workload, opt Options) (*SeriesRecommendation, err
 	sb := &seriesBuilder{w: w, opt: opt, mig: mig}
 	total := w.TotalDuration()
 	for i, p := range w.Phases {
+		if err := opt.Ctx.Err(); err != nil {
+			return nil, err
+		}
 		psp := opt.Trace.Begin(fmt.Sprintf("plan-spaces phase %d", i), "advisor")
 		b, err := newBuilder(w.ForPhase(p), pl, enumRes, opt)
 		if err != nil {

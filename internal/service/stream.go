@@ -1,0 +1,120 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"nose/internal/obs"
+)
+
+// streamPollInterval is how often the event stream checks for new
+// lifecycle or trace events while the job is still producing them.
+const streamPollInterval = 100 * time.Millisecond
+
+// StreamEvent is one line of the events stream. Exactly one of the
+// payload fields is set, discriminated by Type: "state" carries a
+// lifecycle transition, "span" a completed obs trace span, "metrics"
+// the final metrics snapshot fingerprint emitted once the job is
+// terminal.
+type StreamEvent struct {
+	// Type discriminates the payload: state, span, or metrics.
+	Type string `json:"type"`
+	// Job is the job ID the event belongs to.
+	Job string `json:"job"`
+	// State is the lifecycle payload.
+	State *Event `json:"state,omitempty"`
+	// Span is the trace payload.
+	Span *obs.TraceEvent `json:"span,omitempty"`
+	// Fingerprint is the metrics payload: the deterministic fingerprint
+	// of the job's registry snapshot (identical across reruns of the
+	// same request).
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// handleEvents replays a job's history — lifecycle transitions and
+// completed obs trace spans, oldest first — and then follows it live
+// until the job reaches a terminal state, ending with one metrics
+// fingerprint event. The default framing is NDJSON (one JSON object
+// per line); clients that send Accept: text/event-stream get the same
+// payloads as SSE "data:" frames. Replays always start from the
+// beginning, so reconnecting clients see the full history again.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+
+	emit := func(ev StreamEvent) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if sse {
+			_, err = fmt.Fprintf(w, "data: %s\n\n", data)
+		} else {
+			_, err = fmt.Fprintf(w, "%s\n", data)
+		}
+		if err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	stateCur, spanCur := 0, 0
+	for {
+		events, next := j.eventsSince(stateCur)
+		stateCur = next
+		for i := range events {
+			if !emit(StreamEvent{Type: "state", Job: j.ID(), State: &events[i]}) {
+				return
+			}
+		}
+		spans, nextSpan := j.tracer.EventsSince(spanCur)
+		spanCur = nextSpan
+		for i := range spans {
+			if !emit(StreamEvent{Type: "span", Job: j.ID(), Span: &spans[i]}) {
+				return
+			}
+		}
+		select {
+		case <-j.Done():
+			// Drain whatever landed between the last poll and the
+			// terminal transition, then finish with the metrics
+			// fingerprint.
+			if events, _ := j.eventsSince(stateCur); len(events) > 0 {
+				for i := range events {
+					if !emit(StreamEvent{Type: "state", Job: j.ID(), State: &events[i]}) {
+						return
+					}
+				}
+			}
+			if spans, _ := j.tracer.EventsSince(spanCur); len(spans) > 0 {
+				for i := range spans {
+					if !emit(StreamEvent{Type: "span", Job: j.ID(), Span: &spans[i]}) {
+						return
+					}
+				}
+			}
+			emit(StreamEvent{Type: "metrics", Job: j.ID(),
+				Fingerprint: j.reg.Snapshot().DeterministicFingerprint()})
+			return
+		case <-r.Context().Done():
+			return
+		case <-time.After(streamPollInterval):
+		}
+	}
+}
